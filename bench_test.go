@@ -1,0 +1,181 @@
+// Benchmarks regenerating the paper's tables. Each benchmark runs one
+// table cell (circuit × engine) as a testing.B workload; cmd/tables prints
+// the complete tables with the full circuit lists.
+//
+// Run everything:         go test -bench=. -benchmem
+// One table:              go test -bench=Table3
+// Full-size Table 3 row:  go test -bench=Table3Large -benchtime=1x
+package faultsim_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/harness"
+	"repro/internal/vectors"
+)
+
+// benchEngines are the four measured configurations of Tables 3-5.
+var benchEngines = []harness.Engine{
+	harness.CsimV, harness.CsimM, harness.CsimMV, harness.PROOFS,
+}
+
+func deterministic(b *testing.B, name string) (*faults.Universe, *vectors.Set) {
+	b.Helper()
+	u, err := harness.StuckUniverse(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vs, err := harness.DeterministicSet(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return u, vs
+}
+
+func runCell(b *testing.B, eng harness.Engine, u *faults.Universe, vs *vectors.Set) {
+	b.Helper()
+	var last harness.Measurement
+	for i := 0; i < b.N; i++ {
+		m, err := harness.Run(eng, u, vs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = m
+	}
+	b.ReportMetric(last.FltCvg(), "cvg%")
+	b.ReportMetric(float64(last.MemBytes)/(1<<20), "structMB")
+	b.ReportMetric(float64(vs.Len()), "ptns")
+}
+
+// BenchmarkTable2Stats measures universe construction and statistics — the
+// fixed costs behind Table 2.
+func BenchmarkTable2Stats(b *testing.B) {
+	for _, name := range []string{"s298", "s1494", "s5378"} {
+		b.Run(name, func(b *testing.B) {
+			c, err := harness.Circuit(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				u := faults.StuckCollapsed(c)
+				_ = u.NumFaults()
+				_ = c.Stats()
+			}
+		})
+	}
+}
+
+// BenchmarkTable3 reproduces the deterministic-pattern comparison cells on
+// small and medium circuits.
+func BenchmarkTable3(b *testing.B) {
+	for _, name := range []string{"s298", "s444", "s526", "s1238", "s1494"} {
+		u, vs := deterministic(b, name)
+		for _, eng := range benchEngines {
+			b.Run(fmt.Sprintf("%s/%s", name, eng), func(b *testing.B) {
+				runCell(b, eng, u, vs)
+			})
+		}
+	}
+}
+
+// BenchmarkTable3Large runs the two big Table 3 rows (s5378, s35932).
+// Each iteration is a full simulation; use -benchtime=1x.
+func BenchmarkTable3Large(b *testing.B) {
+	for _, name := range []string{"s5378", "s35932"} {
+		u, vs := deterministic(b, name)
+		for _, eng := range []harness.Engine{harness.CsimMV, harness.PROOFS} {
+			b.Run(fmt.Sprintf("%s/%s", name, eng), func(b *testing.B) {
+				runCell(b, eng, u, vs)
+			})
+		}
+	}
+}
+
+// BenchmarkTable4 reproduces the higher-coverage deterministic comparison
+// (csim-MV vs PROOFS) on the ATPG-covered subset.
+func BenchmarkTable4(b *testing.B) {
+	for _, name := range []string{"s298", "s386", "s820", "s1488"} {
+		u, vs := deterministic(b, name)
+		for _, eng := range []harness.Engine{harness.CsimMV, harness.PROOFS} {
+			b.Run(fmt.Sprintf("%s/%s", name, eng), func(b *testing.B) {
+				runCell(b, eng, u, vs)
+			})
+		}
+	}
+}
+
+// BenchmarkTable5 reproduces the random-pattern rows on the largest
+// circuit.
+func BenchmarkTable5(b *testing.B) {
+	for _, n := range []int{100, 200} {
+		u, err := harness.StuckUniverse("s35932")
+		if err != nil {
+			b.Fatal(err)
+		}
+		vs, err := harness.RandomSet("s35932", n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, eng := range []harness.Engine{harness.CsimMV, harness.PROOFS} {
+			b.Run(fmt.Sprintf("%dptns/%s", n, eng), func(b *testing.B) {
+				runCell(b, eng, u, vs)
+			})
+		}
+	}
+}
+
+// BenchmarkTable6 reproduces the transition-fault simulation rows.
+func BenchmarkTable6(b *testing.B) {
+	for _, name := range []string{"s298", "s444", "s1238", "s1494"} {
+		b.Run(name, func(b *testing.B) {
+			u, err := harness.TransitionUniverse(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			vs, err := harness.DeterministicSet(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			runCell(b, harness.CsimMV, u, vs)
+		})
+	}
+}
+
+// Ablation benches for the design choices DESIGN.md calls out.
+
+// BenchmarkAblationSplit isolates visible/invisible list splitting:
+// csim-V (split) against the plain single-list simulator.
+func BenchmarkAblationSplit(b *testing.B) {
+	u, vs := deterministic(b, "s1238")
+	for _, eng := range []harness.Engine{harness.CsimV, harness.CsimPlain} {
+		b.Run(string(eng), func(b *testing.B) { runCell(b, eng, u, vs) })
+	}
+}
+
+// BenchmarkAblationMacro isolates macro extraction: csim-MV against
+// csim-V on a deterministic workload.
+func BenchmarkAblationMacro(b *testing.B) {
+	u, vs := deterministic(b, "s1238")
+	for _, eng := range []harness.Engine{harness.CsimMV, harness.CsimV} {
+		b.Run(string(eng), func(b *testing.B) { runCell(b, eng, u, vs) })
+	}
+}
+
+// BenchmarkAblationDrop isolates event-driven fault dropping against the
+// scan-the-whole-circuit alternative the paper rejects.
+func BenchmarkAblationDrop(b *testing.B) {
+	u, vs := deterministic(b, "s1238")
+	for _, eng := range []harness.Engine{harness.CsimMV, harness.CsimEager} {
+		b.Run(string(eng), func(b *testing.B) { runCell(b, eng, u, vs) })
+	}
+}
+
+// BenchmarkAblationReconvergent compares the paper's fanout-free macros
+// with the §2.2 reconvergent-region extension.
+func BenchmarkAblationReconvergent(b *testing.B) {
+	u, vs := deterministic(b, "s1238")
+	b.Run("fanoutfree", func(b *testing.B) { runCell(b, harness.CsimMV, u, vs) })
+	b.Run("reconvergent", func(b *testing.B) { runCell(b, harness.CsimReconv, u, vs) })
+}

@@ -1,0 +1,52 @@
+// Command circgen emits synthetic synchronous sequential benchmark
+// circuits in .bench format — either a named stand-in from the built-in
+// suite or a circuit with custom shape parameters.
+//
+// Usage:
+//
+//	circgen -suite s5378 > s5378.bench
+//	circgen -pi 16 -po 8 -ff 32 -gates 500 -seed 7 > custom.bench
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/gen"
+	"repro/internal/iscas"
+	"repro/internal/netlist"
+)
+
+func main() {
+	var (
+		suite = flag.String("suite", "", "emit a built-in suite circuit")
+		pis   = flag.Int("pi", 8, "primary inputs")
+		pos   = flag.Int("po", 8, "primary outputs")
+		ffs   = flag.Int("ff", 16, "flip-flops")
+		gates = flag.Int("gates", 200, "combinational gates")
+		depth = flag.Int("depth", 0, "combinational depth (0 = size default)")
+		seed  = flag.Int64("seed", 1, "generator seed")
+		name  = flag.String("name", "synth", "circuit name")
+	)
+	flag.Parse()
+
+	var c *netlist.Circuit
+	var err error
+	if *suite != "" {
+		c, err = iscas.Get(*suite)
+	} else {
+		c, err = gen.Generate(gen.Spec{
+			Name: *name, PIs: *pis, POs: *pos, DFFs: *ffs,
+			Gates: *gates, Depth: *depth, Seed: *seed,
+		})
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "circgen:", err)
+		os.Exit(1)
+	}
+	if err := netlist.WriteBench(os.Stdout, c); err != nil {
+		fmt.Fprintln(os.Stderr, "circgen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,153 @@
+// Command csim fault-simulates a synchronous sequential circuit.
+//
+// Usage:
+//
+//	csim -circuit design.bench -vectors tests.vec [flags]
+//	csim -suite s5378 -random 1000 [flags]
+//
+// The circuit comes either from an ISCAS-89 style .bench file or from the
+// built-in benchmark suite; vectors from a file (one line of 0/1/X per
+// cycle) or a seeded random generator. The engine is one of the paper's
+// variants (csim, csim-V, csim-M, csim-MV), the PROOFS baseline, or the
+// serial oracle.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/harness"
+	"repro/internal/iscas"
+	"repro/internal/netlist"
+	"repro/internal/serial"
+	"repro/internal/vectors"
+)
+
+func main() {
+	var (
+		circuitFile = flag.String("circuit", "", "path to a .bench netlist")
+		suite       = flag.String("suite", "", "built-in benchmark name (e.g. s5378)")
+		vectorFile  = flag.String("vectors", "", "path to a test vector file")
+		randomN     = flag.Int("random", 0, "generate this many random vectors instead")
+		seed        = flag.Int64("seed", 1, "random vector seed")
+		engine      = flag.String("engine", "csim-MV", "csim | csim-V | csim-M | csim-MV | PROOFS | serial")
+		model       = flag.String("faults", "stuck", "fault model: stuck | stuck-all | transition")
+		verbose     = flag.Bool("v", false, "list undetected faults")
+	)
+	flag.Parse()
+
+	c, err := loadCircuit(*circuitFile, *suite)
+	if err != nil {
+		fatal(err)
+	}
+	vs, err := loadVectors(c, *vectorFile, *randomN, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	u, err := universe(c, *model)
+	if err != nil {
+		fatal(err)
+	}
+
+	var m harness.Measurement
+	if *engine == "serial" {
+		start := time.Now()
+		res := serial.Simulate(u, vs)
+		m = harness.Measurement{
+			Engine: "serial", Circuit: c.Name, Patterns: vs.Len(),
+			Faults: u.NumFaults(), Detected: res.NumDet,
+			PotOnly: res.NumPotOnly(), Coverage: res.Coverage(),
+			CPU: time.Since(start),
+		}
+	} else {
+		m, err = harness.Run(harness.Engine(*engine), u, vs)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	st := c.Stats()
+	fmt.Printf("circuit:   %s (%d PI, %d PO, %d FF, %d gates)\n",
+		c.Name, st.PIs, st.POs, st.DFFs, st.Gates)
+	fmt.Printf("engine:    %s\n", m.Engine)
+	fmt.Printf("faults:    %d (%s)\n", m.Faults, *model)
+	fmt.Printf("patterns:  %d\n", m.Patterns)
+	fmt.Printf("detected:  %d (%.2f%%), potential-only: %d (%.2f%% incl.)\n",
+		m.Detected, m.FltCvg(),
+		m.PotOnly, 100*float64(m.Detected+m.PotOnly)/float64(max(1, m.Faults)))
+	fmt.Printf("cpu:       %s s\n", harness.Seconds(m.CPU))
+	if m.MemBytes > 0 {
+		fmt.Printf("mem:       %s MB (fault structures, peak)\n", harness.Meg(m.MemBytes))
+	}
+
+	if *verbose {
+		res := serial.Simulate(u, vs) // authoritative listing
+		fmt.Println("undetected faults:")
+		for i, f := range u.Faults {
+			if !res.Detected[i] {
+				fmt.Printf("  %s\n", f.Name(c))
+			}
+		}
+	}
+}
+
+func loadCircuit(file, suite string) (*netlist.Circuit, error) {
+	switch {
+	case file != "" && suite != "":
+		return nil, fmt.Errorf("use -circuit or -suite, not both")
+	case file != "":
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return netlist.ParseBench(file, f)
+	case suite != "":
+		return iscas.Get(suite)
+	}
+	return nil, fmt.Errorf("one of -circuit or -suite is required")
+}
+
+func loadVectors(c *netlist.Circuit, file string, n int, seed int64) (*vectors.Set, error) {
+	switch {
+	case file != "" && n > 0:
+		return nil, fmt.Errorf("use -vectors or -random, not both")
+	case file != "":
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return vectors.Parse(f, len(c.PIs))
+	case n > 0:
+		return vectors.Random(c, n, seed), nil
+	}
+	return nil, fmt.Errorf("one of -vectors or -random is required")
+}
+
+func universe(c *netlist.Circuit, model string) (*faults.Universe, error) {
+	switch model {
+	case "stuck":
+		return faults.StuckCollapsed(c), nil
+	case "stuck-all":
+		return faults.StuckAll(c), nil
+	case "transition":
+		return faults.Transition(c), nil
+	}
+	return nil, fmt.Errorf("unknown fault model %q", model)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "csim:", err)
+	os.Exit(1)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

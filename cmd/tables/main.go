@@ -1,0 +1,63 @@
+// Command tables regenerates the paper's experimental tables (2-6) on the
+// benchmark suite. Absolute numbers reflect this machine and the synthetic
+// stand-in circuits; the shapes (which engine wins, where macro extraction
+// pays off, transition coverage below 50%) are the reproduction targets.
+//
+// Usage:
+//
+//	tables            # all tables, full circuit lists (slow)
+//	tables -table 3   # one table
+//	tables -quick     # small-circuit subsets only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		table = flag.Int("table", 0, "table number (2-6); 0 = all")
+		quick = flag.Bool("quick", false, "restrict to small circuits")
+	)
+	flag.Parse()
+
+	t3 := harness.Table3Circuits
+	t4 := harness.Table4Circuits
+	t6 := harness.Table6Circuits
+	t5ckt := "s35932"
+	t5counts := harness.Table5PatternCounts
+	if *quick {
+		t3 = []string{"s298", "s344", "s386", "s820", "s1494"}
+		t4 = []string{"s298", "s344", "s386", "s820", "s1494"}
+		t6 = t4
+		t5ckt = "s1494"
+		t5counts = []int{100, 500}
+	}
+
+	type job struct {
+		n   int
+		run func() (*harness.Table, error)
+	}
+	jobs := []job{
+		{2, func() (*harness.Table, error) { return harness.Table2(t3) }},
+		{3, func() (*harness.Table, error) { return harness.Table3(t3) }},
+		{4, func() (*harness.Table, error) { return harness.Table4(t4) }},
+		{5, func() (*harness.Table, error) { return harness.Table5(t5ckt, t5counts) }},
+		{6, func() (*harness.Table, error) { return harness.Table6(t6) }},
+	}
+	for _, j := range jobs {
+		if *table != 0 && *table != j.n {
+			continue
+		}
+		t, err := j.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tables: table %d: %v\n", j.n, err)
+			os.Exit(1)
+		}
+		fmt.Println(t.String())
+	}
+}

@@ -1,0 +1,93 @@
+// Command tgen generates test sequences for a synchronous sequential
+// circuit: deterministic (PODEM over time frames, as the paper's companion
+// generator [14]) or random.
+//
+// Usage:
+//
+//	tgen -suite s1494 -o tests.vec
+//	tgen -circuit design.bench -random 1000 -o tests.vec
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/atpg"
+	"repro/internal/faults"
+	"repro/internal/iscas"
+	"repro/internal/netlist"
+	"repro/internal/vectors"
+)
+
+func main() {
+	var (
+		circuitFile = flag.String("circuit", "", "path to a .bench netlist")
+		suite       = flag.String("suite", "", "built-in benchmark name")
+		randomN     = flag.Int("random", 0, "emit this many random vectors instead of running ATPG")
+		seed        = flag.Int64("seed", 1, "generation seed")
+		preamble    = flag.Int("preamble", 64, "random vectors before deterministic targeting")
+		frames      = flag.Int("frames", 8, "time-frame unroll bound")
+		backtracks  = flag.Int("backtracks", 400, "PODEM backtrack limit per target")
+		out         = flag.String("o", "", "output vector file (default stdout)")
+	)
+	flag.Parse()
+
+	c, err := loadCircuit(*circuitFile, *suite)
+	if err != nil {
+		fatal(err)
+	}
+
+	var vs *vectors.Set
+	if *randomN > 0 {
+		vs = vectors.Random(c, *randomN, *seed)
+	} else {
+		u := faults.StuckCollapsed(c)
+		res := atpg.Generate(u, atpg.Options{
+			Seed:           *seed,
+			FillRandom:     true,
+			RandomPreamble: *preamble,
+			MaxFrames:      *frames,
+			MaxBacktrack:   *backtracks,
+		})
+		vs = res.Vectors
+		fmt.Fprintf(os.Stderr,
+			"tgen: %d vectors; %d/%d faults detected (%.1f%%), %d targeted, %d aborted, %d untestable(bounded)\n",
+			vs.Len(), res.Detected, u.NumFaults(),
+			100*float64(res.Detected)/float64(u.NumFaults()),
+			res.Targeted, res.Aborted, res.Untestable)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := vectors.Write(w, vs); err != nil {
+		fatal(err)
+	}
+}
+
+func loadCircuit(file, suite string) (*netlist.Circuit, error) {
+	switch {
+	case file != "":
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return netlist.ParseBench(file, f)
+	case suite != "":
+		return iscas.Get(suite)
+	}
+	return nil, fmt.Errorf("one of -circuit or -suite is required")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,161 @@
+// Package faultsim is a concurrent fault simulator for synchronous
+// sequential circuits, reproducing Lee and Reddy, "On Efficient Concurrent
+// Fault Simulation for Synchronous Sequential Circuits" (DAC 1992).
+//
+// It simulates one good machine and many faulty machines together over
+// gate-level ISCAS-89 style netlists, supporting the single stuck-at and
+// the gate-input transition (gross delay) fault models, with the paper's
+// three engineering improvements — event-driven fault dropping,
+// visible/invisible fault-list splitting, and fanout-free-region macro
+// extraction — plus a PROOFS-style bit-parallel baseline, a brute-force
+// serial oracle, a deterministic sequential test generator, and a seeded
+// benchmark-circuit generator.
+//
+// Quick start:
+//
+//	c, _ := faultsim.ParseBench("adder", benchText)
+//	u := faultsim.StuckFaults(c)
+//	sim, _ := faultsim.New(u, faultsim.CsimMV())
+//	res := sim.Run(faultsim.RandomVectors(c, 1000, 1))
+//	fmt.Printf("coverage %.1f%%\n", 100*res.Coverage())
+//
+// The subsystem packages under internal/ carry the implementation; this
+// package is the supported surface.
+package faultsim
+
+import (
+	"io"
+
+	"repro/internal/atpg"
+	"repro/internal/csim"
+	"repro/internal/faults"
+	"repro/internal/gen"
+	"repro/internal/goodsim"
+	"repro/internal/iscas"
+	"repro/internal/netlist"
+	"repro/internal/proofs"
+	"repro/internal/serial"
+	"repro/internal/vectors"
+)
+
+// Core circuit types.
+type (
+	// Circuit is a levelized gate-level synchronous sequential circuit.
+	Circuit = netlist.Circuit
+	// Gate is one circuit node.
+	Gate = netlist.Gate
+	// GateID indexes a gate within its circuit.
+	GateID = netlist.GateID
+	// CircuitSpec prescribes a synthetic benchmark's shape.
+	CircuitSpec = gen.Spec
+)
+
+// Fault model types.
+type (
+	// Fault is a single stuck-at or transition fault.
+	Fault = faults.Fault
+	// FaultKind is SA0, SA1, STR or STF.
+	FaultKind = faults.Kind
+	// Universe is a fault list over a circuit.
+	Universe = faults.Universe
+	// Result accumulates detections.
+	Result = faults.Result
+)
+
+// Simulation types.
+type (
+	// Config selects the concurrent simulator variant.
+	Config = csim.Config
+	// Simulator is the concurrent fault simulator (the paper's csim).
+	Simulator = csim.Simulator
+	// SimStats instruments a concurrent-simulation run.
+	SimStats = csim.Stats
+	// Proofs is the PROOFS-style bit-parallel baseline simulator.
+	Proofs = proofs.Sim
+	// GoodSim is the fault-free reference simulator.
+	GoodSim = goodsim.Sim
+	// Vectors is an ordered test sequence.
+	Vectors = vectors.Set
+	// ATPGOptions tunes the deterministic test generator.
+	ATPGOptions = atpg.Options
+	// ATPGResult reports a generation campaign.
+	ATPGResult = atpg.Result
+)
+
+// Fault kinds.
+const (
+	SA0 = faults.SA0 // stuck-at-0
+	SA1 = faults.SA1 // stuck-at-1
+	STR = faults.STR // slow-to-rise transition fault
+	STF = faults.STF // slow-to-fall transition fault
+)
+
+// ParseBench parses an ISCAS-89 .bench netlist.
+func ParseBench(name, text string) (*Circuit, error) {
+	return netlist.ParseBenchString(name, text)
+}
+
+// ReadBench reads a .bench netlist from a stream.
+func ReadBench(name string, r io.Reader) (*Circuit, error) {
+	return netlist.ParseBench(name, r)
+}
+
+// WriteBench serializes a circuit in .bench format.
+func WriteBench(w io.Writer, c *Circuit) error { return netlist.WriteBench(w, c) }
+
+// GenerateCircuit builds a seeded synthetic benchmark circuit.
+func GenerateCircuit(spec CircuitSpec) (*Circuit, error) { return gen.Generate(spec) }
+
+// Benchmark returns a circuit from the built-in suite (the genuine s27 or
+// a published-shape stand-in such as "s5378").
+func Benchmark(name string) (*Circuit, error) { return iscas.Get(name) }
+
+// BenchmarkNames lists the built-in suite.
+func BenchmarkNames() []string { return iscas.Names() }
+
+// StuckFaults builds the equivalence-collapsed single stuck-at universe.
+func StuckFaults(c *Circuit) *Universe { return faults.StuckCollapsed(c) }
+
+// StuckFaultsAll builds the complete (uncollapsed) stuck-at universe.
+func StuckFaultsAll(c *Circuit) *Universe { return faults.StuckAll(c) }
+
+// TransitionFaults builds the §3 transition-fault universe.
+func TransitionFaults(c *Circuit) *Universe { return faults.Transition(c) }
+
+// Csim returns the base concurrent simulator configuration (no
+// improvements); CsimV, CsimM and CsimMV enable the paper's variants.
+func Csim() Config { return Config{} }
+
+// CsimV enables visible/invisible fault-list splitting.
+func CsimV() Config { return csim.V() }
+
+// CsimM enables macro extraction.
+func CsimM() Config { return csim.M() }
+
+// CsimMV enables both improvements — the paper's best configuration.
+func CsimMV() Config { return csim.MV() }
+
+// New builds a concurrent fault simulator over a universe.
+func New(u *Universe, cfg Config) (*Simulator, error) { return csim.New(u, cfg) }
+
+// NewProofs builds the PROOFS baseline simulator (stuck-at only).
+func NewProofs(u *Universe) (*Proofs, error) { return proofs.New(u) }
+
+// NewGoodSim builds a fault-free simulator.
+func NewGoodSim(c *Circuit) *GoodSim { return goodsim.New(c) }
+
+// SimulateSerial runs the brute-force oracle (one resimulation per fault).
+func SimulateSerial(u *Universe, vs *Vectors) *Result { return serial.Simulate(u, vs) }
+
+// RandomVectors generates n seeded random binary test vectors.
+func RandomVectors(c *Circuit, n int, seed int64) *Vectors {
+	return vectors.Random(c, n, seed)
+}
+
+// ParseVectors parses a vector file (one 0/1/X line per cycle).
+func ParseVectors(text string, numPIs int) (*Vectors, error) {
+	return vectors.ParseString(text, numPIs)
+}
+
+// GenerateTests runs the deterministic sequential test generator.
+func GenerateTests(u *Universe, opts ATPGOptions) ATPGResult { return atpg.Generate(u, opts) }

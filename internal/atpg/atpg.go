@@ -1,0 +1,145 @@
+// Package atpg generates deterministic test sequences for single stuck-at
+// faults in synchronous sequential circuits, reproducing the role of the
+// authors' companion test generator (reference [14] of the paper): the
+// higher-coverage deterministic pattern sets of Tables 2-4.
+//
+// The algorithm is PODEM extended over an iterative time-frame expansion:
+// the circuit is unrolled up to MaxFrames copies starting from the all-X
+// state, every signal carries a dual-rail ternary pair (good value, faulty
+// value), and decisions are made only at primary inputs of specific
+// frames, found by backtracing objectives through the unrolled netlist.
+// Between targets, generated sequences are fault-simulated (with the
+// concurrent simulator) so that one sequence drops many faults.
+package atpg
+
+import (
+	"math/rand"
+
+	"repro/internal/csim"
+	"repro/internal/faults"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/vectors"
+)
+
+// Options tunes the generator.
+type Options struct {
+	MaxFrames    int   // time-frame unroll bound per target (default 8)
+	MaxBacktrack int   // PODEM backtrack limit per target (default 400)
+	Seed         int64 // randomizes fill values and tie-breaking
+	FillRandom   bool  // fill unassigned PIs randomly (true) or with 0
+	// RandomPreamble prepends this many random vectors and drops whatever
+	// they detect before deterministic targeting begins — the standard
+	// two-phase flow, which also keeps campaign time in check.
+	RandomPreamble int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxFrames == 0 {
+		o.MaxFrames = 8
+	}
+	if o.MaxBacktrack == 0 {
+		o.MaxBacktrack = 400
+	}
+	return o
+}
+
+// Result reports a generation campaign.
+type Result struct {
+	Vectors    *vectors.Set
+	Detected   int // faults detected by the emitted sequence (via csim)
+	Aborted    int // targets abandoned at the backtrack limit
+	Untestable int // targets proven untestable within the frame bound
+	Targeted   int // faults explicitly targeted
+}
+
+// pair is a dual-rail ternary signal value: the good machine's value and
+// the faulty machine's value.
+type pair struct {
+	g, f logic.V
+}
+
+func (p pair) isD() bool { // D or D-bar: binary difference
+	return p.g.Binary() && p.f.Binary() && p.g != p.f
+}
+
+type gen struct {
+	c    *netlist.Circuit
+	opts Options
+	rng  *rand.Rand
+
+	flt *faults.Fault
+
+	// frames[t].val[g] is the dual-rail value of gate g in frame t.
+	frames []frame
+	// decisions records assigned PIs for backtracking.
+	decisions []decision
+
+	untestable bool // set when the bounded search space was exhausted
+}
+
+type frame struct {
+	val []pair
+	// piSet[i] marks primary input i as decided in this frame.
+	piSet []bool
+	piVal []logic.V
+}
+
+type decision struct {
+	frame   int
+	pi      int // index into circuit PIs
+	val     logic.V
+	flipped bool
+}
+
+// Generate runs a full campaign over the universe: target undetected
+// faults one by one, fault-simulate each emitted sequence, drop everything
+// it detects, and continue until all faults are classified or targeted.
+func Generate(u *faults.Universe, opts Options) Result {
+	opts = opts.withDefaults()
+	c := u.Circuit
+	res := Result{Vectors: vectors.New(len(c.PIs))}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	sim, err := csim.New(u, csim.MV())
+	if err != nil {
+		panic(err) // universe and circuit come from the same caller
+	}
+	if opts.RandomPreamble > 0 {
+		pre := vectors.Random(c, opts.RandomPreamble, opts.Seed+31)
+		for _, vec := range pre.Vecs {
+			res.Vectors.Append(vec)
+			sim.Cycle(vec)
+		}
+	}
+	for fi := range u.Faults {
+		if sim.Result().Detected[fi] {
+			continue
+		}
+		f := &u.Faults[fi]
+		if !f.Kind.Stuck() {
+			continue // the deterministic generator targets stuck-at faults
+		}
+		res.Targeted++
+		g := &gen{c: c, opts: opts, rng: rng, flt: f}
+		seq, ok := g.target()
+		switch {
+		case ok:
+			for _, vec := range seq {
+				res.Vectors.Append(vec)
+				sim.Cycle(vec)
+			}
+		case g.untestable:
+			res.Untestable++
+		default:
+			res.Aborted++
+		}
+	}
+	res.Detected = sim.Result().NumDet
+	return res
+}
+
+// GenerateVectors is a convenience wrapper returning only the test set.
+func GenerateVectors(u *faults.Universe, opts Options) *vectors.Set {
+	return Generate(u, opts).Vectors
+}

@@ -1,0 +1,250 @@
+// Package deductive implements Armstrong's deductive fault simulation
+// (reference [1] of the paper) for two-valued combinational circuits. The
+// paper's concurrent simulator deliberately adopts this method's
+// simplicity — one flat fault list per gate — while fixing its
+// restrictions; the deductive simulator is kept as the historical baseline
+// and as an independent cross-check on combinational circuits.
+//
+// Per vector, each gate carries the set of faults whose presence would
+// complement the gate's output. The lists are deduced level by level with
+// the classic set algebra: with S the controlling-value inputs of a gate,
+//
+//	S empty:    L_out = union of all input lists (+ local faults)
+//	S nonempty: L_out = intersection over S minus union over the others
+//
+// XOR gates use the odd-parity (symmetric difference) rule. Faults
+// appearing in a primary output's list are detected.
+package deductive
+
+import (
+	"fmt"
+
+	"repro/internal/faults"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/vectors"
+)
+
+// Simulate runs deductive fault simulation over a two-valued combinational
+// workload: the circuit must have no flip-flops, and every vector must be
+// fully binary.
+func Simulate(u *faults.Universe, vs *vectors.Set) (*faults.Result, error) {
+	c := u.Circuit
+	if len(c.DFFs) != 0 {
+		return nil, fmt.Errorf("deductive: %s is sequential; deductive simulation here is combinational-only", c.Name)
+	}
+	for i := range u.Faults {
+		if !u.Faults[i].Kind.Stuck() {
+			return nil, fmt.Errorf("deductive: fault %d is not stuck-at", i)
+		}
+	}
+	res := faults.NewResult(u)
+
+	// Faults indexed by site for local-fault injection.
+	outFaults := make([][]int32, len(c.Gates))            // by gate
+	pinFaults := make(map[[2]int32][]int32, len(c.Gates)) // by (gate,pin)
+	for i := range u.Faults {
+		f := &u.Faults[i]
+		if f.Pin == faults.OutPin {
+			outFaults[f.Gate] = append(outFaults[f.Gate], f.ID)
+		} else {
+			key := [2]int32{int32(f.Gate), int32(f.Pin)}
+			pinFaults[key] = append(pinFaults[key], f.ID)
+		}
+	}
+
+	val := make([]logic.V, len(c.Gates))
+	lists := make([][]int32, len(c.Gates))
+
+	for t, vec := range vs.Vecs {
+		for _, v := range vec {
+			if !v.Binary() {
+				return nil, fmt.Errorf("deductive: vector %d contains X", t)
+			}
+		}
+		for i, pi := range c.PIs {
+			val[pi] = vec[i]
+			// A PI line list holds its own output faults with the opposite
+			// polarity.
+			lists[pi] = activated(outFaults[pi], u, vec[i])
+		}
+		for _, lv := range c.Levels {
+			for _, id := range lv {
+				val[id], lists[id] = deduce(c, u, id, val, lists, pinFaults, outFaults)
+			}
+		}
+		for _, po := range c.POs {
+			for _, f := range lists[po] {
+				res.Detect(f, t)
+			}
+		}
+	}
+	return res, nil
+}
+
+// activated filters site faults to those whose stuck value differs from
+// the good value (the fault complements the line).
+func activated(ids []int32, u *faults.Universe, good logic.V) []int32 {
+	var out []int32
+	for _, id := range ids {
+		if u.Faults[id].Kind.StuckValue() != good {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// deduce computes a gate's good value and fault list from its fanin lists.
+func deduce(c *netlist.Circuit, u *faults.Universe, id netlist.GateID,
+	val []logic.V, lists [][]int32,
+	pinFaults map[[2]int32][]int32, outFaults [][]int32) (logic.V, []int32) {
+
+	g := c.Gate(id)
+	n := len(g.Fanin)
+	inVals := make([]logic.V, n)
+	// Effective per-pin lists: the fanin list plus this gate's own
+	// input-pin faults that complement the pin.
+	inLists := make([][]int32, n)
+	for j, f := range g.Fanin {
+		inVals[j] = val[f]
+		pl := lists[f]
+		for _, fid := range pinFaults[[2]int32{int32(id), int32(j)}] {
+			if u.Faults[fid].Kind.StuckValue() != inVals[j] {
+				pl = union(pl, []int32{fid})
+			} else {
+				// A stuck-at matching the good pin value pins the line:
+				// upstream effects cannot flip this pin for that machine.
+				pl = subtract(pl, []int32{fid})
+			}
+		}
+		inLists[j] = pl
+	}
+	good := logic.Eval(g.Op, inVals)
+
+	var L []int32
+	switch g.Op.Base() {
+	case logic.OpXor:
+		// Odd parity: a fault flips the output iff it flips an odd number
+		// of inputs.
+		for _, pl := range inLists {
+			L = symDiff(L, pl)
+		}
+	case logic.OpBuf:
+		L = inLists[0]
+	default: // AND/OR families
+		cv, _ := g.Op.Controlling()
+		var ctl, non [][]int32
+		for j := range inLists {
+			if inVals[j] == cv {
+				ctl = append(ctl, inLists[j])
+			} else {
+				non = append(non, inLists[j])
+			}
+		}
+		if len(ctl) == 0 {
+			for _, pl := range non {
+				L = union(L, pl)
+			}
+		} else {
+			L = ctl[0]
+			for _, pl := range ctl[1:] {
+				L = intersect(L, pl)
+			}
+			for _, pl := range non {
+				L = subtract(L, pl)
+			}
+		}
+	}
+	// Local output faults: an activated one complements the output for its
+	// machine regardless of the deduced list; a non-activated one pins the
+	// output.
+	for _, fid := range outFaults[id] {
+		if u.Faults[fid].Kind.StuckValue() != good {
+			L = union(L, []int32{fid})
+		} else {
+			L = subtract(L, []int32{fid})
+		}
+	}
+	return good, L
+}
+
+// Sorted-set algebra over fault ID slices.
+
+func union(a, b []int32) []int32 {
+	out := make([]int32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+func intersect(a, b []int32) []int32 {
+	var out []int32
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+func subtract(a, b []int32) []int32 {
+	var out []int32
+	i, j := 0, 0
+	for i < len(a) {
+		switch {
+		case j >= len(b) || a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+func symDiff(a, b []int32) []int32 {
+	out := make([]int32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}

@@ -1,0 +1,200 @@
+package deductive
+
+import (
+	"testing"
+
+	"repro/internal/csim"
+	"repro/internal/faults"
+	"repro/internal/netlist"
+	"repro/internal/serial"
+	"repro/internal/vectors"
+)
+
+var combCircuits = []struct{ name, text string }{
+	{"and", "INPUT(a)\nINPUT(b)\nOUTPUT(z)\nz = AND(a, b)\n"},
+	{"c17ish", `
+INPUT(a)
+INPUT(b)
+INPUT(c)
+INPUT(d)
+INPUT(e)
+OUTPUT(z1)
+OUTPUT(z2)
+n1 = NAND(a, c)
+n2 = NAND(c, d)
+n3 = NAND(b, n2)
+n4 = NAND(n2, e)
+z1 = NAND(n1, n3)
+z2 = NAND(n3, n4)
+`},
+	{"mixed", `
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(z)
+OUTPUT(w)
+i1 = NOT(a)
+x1 = XOR(i1, b)
+o1 = NOR(x1, c)
+a1 = AND(x1, b, c)
+z = OR(o1, a1)
+w = XNOR(a1, c)
+`},
+	{"reconv", `
+INPUT(a)
+INPUT(b)
+OUTPUT(z)
+s = NOT(a)
+p1 = AND(s, b)
+p2 = OR(s, b)
+z = XOR(p1, p2)
+`},
+}
+
+func mustParse(t *testing.T, name, text string) *netlist.Circuit {
+	t.Helper()
+	c, err := netlist.ParseBenchString(name, text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestMatchesSerial: deductive, serial, and concurrent simulation must
+// report identical detections on binary combinational workloads.
+func TestMatchesSerial(t *testing.T) {
+	for _, tc := range combCircuits {
+		c := mustParse(t, tc.name, tc.text)
+		for _, uni := range []struct {
+			name string
+			u    *faults.Universe
+		}{
+			{"full", faults.StuckAll(c)},
+			{"collapsed", faults.StuckCollapsed(c)},
+		} {
+			vs := vectors.Random(c, 100, int64(len(tc.name)))
+			got, err := Simulate(uni.u, vs)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", tc.name, uni.name, err)
+			}
+			want := serial.Simulate(uni.u, vs)
+			if d := want.Diff(got); d != "" {
+				t.Errorf("%s/%s: deductive disagrees with serial:\n%s", tc.name, uni.name, d)
+			}
+			for i := range want.DetectedAt {
+				if want.DetectedAt[i] != got.DetectedAt[i] {
+					t.Errorf("%s/%s: fault %s first detection %d vs serial %d",
+						tc.name, uni.name, uni.u.Faults[i].Name(c),
+						got.DetectedAt[i], want.DetectedAt[i])
+					break
+				}
+			}
+			sim, err := csim.New(uni.u, csim.MV())
+			if err != nil {
+				t.Fatal(err)
+			}
+			cres := sim.Run(vs)
+			if d := cres.Diff(got); d != "" {
+				t.Errorf("%s/%s: deductive disagrees with concurrent:\n%s", tc.name, uni.name, d)
+			}
+		}
+	}
+}
+
+func TestExhaustiveVectorsFullCoverage(t *testing.T) {
+	// On the NAND network, exhaustive binary vectors must detect every
+	// irredundant fault; cross-check the count with serial.
+	c := mustParse(t, "c17ish", combCircuits[1].text)
+	u := faults.StuckCollapsed(c)
+	vs := vectors.New(len(c.PIs))
+	for pat := 0; pat < 1<<len(c.PIs); pat++ {
+		vec := make([]int, len(c.PIs))
+		row := ""
+		for i := range vec {
+			row += string(rune('0' + (pat>>i)&1))
+		}
+		parsed, err := vectors.ParseString(row+"\n", len(c.PIs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		vs.Append(parsed.Vecs[0])
+	}
+	got, err := Simulate(u, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := serial.Simulate(u, vs)
+	if got.NumDet != want.NumDet {
+		t.Errorf("deductive %d vs serial %d detections", got.NumDet, want.NumDet)
+	}
+	if got.Coverage() < 0.99 {
+		t.Errorf("exhaustive coverage only %.2f; undetected:\n%s",
+			got.Coverage(), diffList(got))
+	}
+}
+
+func diffList(r *faults.Result) string {
+	out := ""
+	for i, d := range r.Detected {
+		if !d {
+			out += r.Universe.Faults[i].Name(r.Universe.Circuit) + "\n"
+		}
+	}
+	return out
+}
+
+func TestRejectsSequential(t *testing.T) {
+	c := mustParse(t, "ff", "INPUT(a)\nOUTPUT(z)\nq = DFF(a)\nz = NOT(q)\n")
+	if _, err := Simulate(faults.StuckAll(c), vectors.Random(c, 5, 1)); err == nil {
+		t.Error("sequential circuit accepted")
+	}
+}
+
+func TestRejectsXVectors(t *testing.T) {
+	c := mustParse(t, "and", combCircuits[0].text)
+	vs, err := vectors.ParseString("1X\n", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Simulate(faults.StuckAll(c), vs); err == nil {
+		t.Error("X vector accepted")
+	}
+}
+
+func TestRejectsTransitionFaults(t *testing.T) {
+	c := mustParse(t, "and", combCircuits[0].text)
+	if _, err := Simulate(faults.Transition(c), vectors.Random(c, 5, 1)); err == nil {
+		t.Error("transition universe accepted")
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := []int32{1, 3, 5, 7}
+	b := []int32{3, 4, 7, 9}
+	eq := func(x []int32, want ...int32) bool {
+		if len(x) != len(want) {
+			return false
+		}
+		for i := range x {
+			if x[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if got := union(a, b); !eq(got, 1, 3, 4, 5, 7, 9) {
+		t.Errorf("union = %v", got)
+	}
+	if got := intersect(a, b); !eq(got, 3, 7) {
+		t.Errorf("intersect = %v", got)
+	}
+	if got := subtract(a, b); !eq(got, 1, 5) {
+		t.Errorf("subtract = %v", got)
+	}
+	if got := symDiff(a, b); !eq(got, 1, 4, 5, 9) {
+		t.Errorf("symDiff = %v", got)
+	}
+	if got := union(nil, nil); len(got) != 0 {
+		t.Errorf("union(nil,nil) = %v", got)
+	}
+}

@@ -1,0 +1,109 @@
+package faults
+
+import "fmt"
+
+// Result accumulates detections over a fault universe during simulation.
+// All simulators (csim, PROOFS, serial) report through this type so their
+// outputs are directly comparable.
+type Result struct {
+	Universe   *Universe
+	Detected   []bool
+	DetectedAt []int32 // vector index of first detection; -1 if undetected
+	NumDet     int
+
+	// Potential detections: the faulty machine drove X where the good
+	// machine drove a binary value at a primary output. Such a fault may
+	// or may not be caught on silicon; simulators of this era report the
+	// count separately and never drop on it.
+	PotDetected []bool
+}
+
+// NewResult returns an empty result over u.
+func NewResult(u *Universe) *Result {
+	r := &Result{
+		Universe:    u,
+		Detected:    make([]bool, len(u.Faults)),
+		DetectedAt:  make([]int32, len(u.Faults)),
+		PotDetected: make([]bool, len(u.Faults)),
+	}
+	for i := range r.DetectedAt {
+		r.DetectedAt[i] = -1
+	}
+	return r
+}
+
+// PotDetect marks fault id potentially detected.
+func (r *Result) PotDetect(id int32) { r.PotDetected[id] = true }
+
+// NumPotOnly counts faults potentially but never hard detected.
+func (r *Result) NumPotOnly() int {
+	n := 0
+	for i, p := range r.PotDetected {
+		if p && !r.Detected[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// CoverageWithPotential counts hard detections plus faults only ever
+// potentially detected.
+func (r *Result) CoverageWithPotential() float64 {
+	if len(r.Detected) == 0 {
+		return 0
+	}
+	return float64(r.NumDet+r.NumPotOnly()) / float64(len(r.Detected))
+}
+
+// Detect marks fault id detected at vector vec. It reports whether the
+// fault was newly detected.
+func (r *Result) Detect(id int32, vec int) bool {
+	if r.Detected[id] {
+		return false
+	}
+	r.Detected[id] = true
+	r.DetectedAt[id] = int32(vec)
+	r.NumDet++
+	return true
+}
+
+// Coverage returns detected/total in [0,1].
+func (r *Result) Coverage() float64 {
+	if len(r.Detected) == 0 {
+		return 0
+	}
+	return float64(r.NumDet) / float64(len(r.Detected))
+}
+
+// DetectedSet returns the sorted IDs of detected faults.
+func (r *Result) DetectedSet() []int32 {
+	out := make([]int32, 0, r.NumDet)
+	for i, d := range r.Detected {
+		if d {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+// Diff returns a human-readable description of the first few disagreements
+// between two results over the same universe, for cross-validation tests.
+func (r *Result) Diff(other *Result) string {
+	if len(r.Detected) != len(other.Detected) {
+		return fmt.Sprintf("universe sizes differ: %d vs %d", len(r.Detected), len(other.Detected))
+	}
+	var out string
+	n := 0
+	for i := range r.Detected {
+		if r.Detected[i] != other.Detected[i] {
+			out += fmt.Sprintf("fault %s: %v vs %v\n",
+				r.Universe.Faults[i].Name(r.Universe.Circuit), r.Detected[i], other.Detected[i])
+			n++
+			if n >= 10 {
+				out += "...\n"
+				break
+			}
+		}
+	}
+	return out
+}

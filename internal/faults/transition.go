@@ -1,0 +1,22 @@
+package faults
+
+import "repro/internal/logic"
+
+// TransitionFV implements the paper's Table 1: the value FV seen at a
+// transition-fault site at sampling time, given the site's previous-cycle
+// value PV and current-cycle (settled) value CV.
+//
+// A slow-to-rise fault suppresses a 0→1 transition until after the sample,
+// so the observed value is the ternary AND of PV and CV; slow-to-fall is
+// the dual (OR). These closed forms reproduce every row of Table 1,
+// including the X entries: e.g. PV=0, CV=X under STR yields 0 because the
+// site is 0 whether or not the (possibly delayed) rise was due.
+func TransitionFV(k Kind, pv, cv logic.V) logic.V {
+	switch k {
+	case STR:
+		return logic.And2(pv, cv)
+	case STF:
+		return logic.Or2(pv, cv)
+	}
+	return cv
+}

@@ -1,0 +1,361 @@
+// Package gen synthesizes random synchronous sequential benchmark
+// circuits with prescribed PI/PO/FF/gate counts. The ISCAS-89 netlists the
+// paper evaluates are not redistributable inside this repository, so
+// structurally comparable stand-ins are generated deterministically from
+// fixed seeds (see DESIGN.md, substitutions). The generator reproduces the
+// traits that drive fault-simulation cost: 2-3 input gates dominated by
+// NAND/NOR, shallow level-bounded logic (real ISCAS-89 depths are 10-30),
+// sparse fanout with occasional high-fanout stems, feedback through
+// flip-flops, and outputs sampled from cone roots.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// Spec prescribes the shape of a generated circuit.
+type Spec struct {
+	Name  string
+	PIs   int
+	POs   int
+	DFFs  int
+	Gates int // combinational gate count (including inverters/buffers)
+	Depth int // target combinational depth; 0 picks a size-based default
+	Seed  int64
+}
+
+// opMix approximates the ISCAS-89 gate-type distribution.
+var opMix = []struct {
+	op     logic.Op
+	weight int
+	minIn  int
+	maxIn  int
+}{
+	{logic.OpNand, 20, 2, 3},
+	{logic.OpNor, 12, 2, 3},
+	{logic.OpAnd, 12, 2, 4},
+	{logic.OpOr, 9, 2, 4},
+	{logic.OpNot, 21, 1, 1},
+	{logic.OpBuf, 6, 1, 1},
+	{logic.OpXor, 7, 2, 2},
+	{logic.OpXnor, 5, 2, 2},
+}
+
+// defaultDepth scales like the published ISCAS-89 depths: shallow even for
+// very large circuits.
+func defaultDepth(gates int) int {
+	d := 6
+	for g := gates; g > 64; g /= 4 {
+		d += 3
+	}
+	return d
+}
+
+// Generate builds the circuit described by spec. The same spec always
+// yields the identical netlist.
+func Generate(spec Spec) (*netlist.Circuit, error) {
+	if spec.PIs < 1 || spec.Gates < 1 || spec.POs < 1 {
+		return nil, fmt.Errorf("gen: spec needs at least one PI, PO and gate: %+v", spec)
+	}
+	depth := spec.Depth
+	if depth <= 0 {
+		depth = defaultDepth(spec.Gates)
+	}
+	if depth > spec.Gates {
+		depth = spec.Gates
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	b := netlist.NewBuilder(spec.Name)
+
+	piNames := make([]string, spec.PIs)
+	for i := range piNames {
+		piNames[i] = fmt.Sprintf("pi%d", i)
+		b.Input(piNames[i])
+	}
+	ffNames := make([]string, spec.DFFs)
+	for i := range ffNames {
+		ffNames[i] = fmt.Sprintf("ff%d", i)
+	}
+	sources := append(append([]string{}, piNames...), ffNames...)
+
+	totalWeight := 0
+	for _, m := range opMix {
+		totalWeight += m.weight
+	}
+
+	// Reserve one synchronous-init gate per flip-flop (AND or OR with a
+	// PI) so random patterns can flush the initial X state the way real
+	// test sets exercise reset structures; without them X never clears
+	// through XOR-rich logic and nothing is observable.
+	initGates := 0
+	if spec.DFFs > 0 && spec.Gates > 3*spec.DFFs {
+		initGates = spec.DFFs
+	}
+
+	// Distribute gates over levels with a mild taper (wider near the
+	// sources, as in real cones).
+	perLevel := make([]int, depth)
+	remaining := spec.Gates - initGates
+	for l := 0; l < depth; l++ {
+		share := remaining / (depth - l)
+		// Taper: early levels get up to 40% more than an even share.
+		bonus := share * (depth - l) / (3 * depth)
+		n := share + bonus
+		if n < 1 {
+			n = 1
+		}
+		if n > remaining-(depth-l-1) {
+			n = remaining - (depth - l - 1)
+		}
+		perLevel[l] = n
+		remaining -= n
+	}
+	perLevel[depth-1] += remaining
+
+	fanout := map[string]int{}
+	levels := make([][]string, depth)
+	gateID := 0
+	// prob tracks each signal's estimated probability of being 1 under
+	// random patterns (independence assumption). Deep random logic drifts
+	// toward near-constant signals, which makes path sensitization
+	// impossible; balancing each new gate's family (AND-like vs OR-like)
+	// against its fanin bias keeps signals testable, as synthesized logic
+	// tends to be.
+	prob := map[string]float64{}
+	for _, n := range sources {
+		prob[n] = 0.5
+	}
+	for l := 0; l < depth; l++ {
+		for i := 0; i < perLevel[l]; i++ {
+			w := rng.Intn(totalWeight)
+			var op logic.Op
+			var minIn, maxIn int
+			for _, m := range opMix {
+				if w < m.weight {
+					op, minIn, maxIn = m.op, m.minIn, m.maxIn
+					break
+				}
+				w -= m.weight
+			}
+			nIn := minIn
+			if maxIn > minIn {
+				nIn += rng.Intn(maxIn - minIn + 1)
+			}
+			name := fmt.Sprintf("n%d", gateID)
+			gateID++
+			pos := (float64(i) + 0.5) / float64(perLevel[l])
+			fanin := pickFanins(rng, nIn, l, pos, levels, sources, fanout)
+			if len(fanin) == 1 && (op == logic.OpXor || op == logic.OpXnor || minIn > 1) {
+				op = logic.OpBuf
+				if rng.Intn(2) == 0 {
+					op = logic.OpNot
+				}
+			}
+			op = balanceFamily(op, fanin, prob)
+			b.Gate(name, op, fanin...)
+			prob[name] = outProb(op, fanin, prob)
+			levels[l] = append(levels[l], name)
+		}
+	}
+
+	var allGates []string
+	for _, lv := range levels {
+		allGates = append(allGates, lv...)
+	}
+
+	// FF D inputs: sample from the deeper levels near the FF's own
+	// horizontal position so state columns stay local and feedback loops
+	// close within a cone.
+	for i := range ffNames {
+		var d string
+		if len(allGates) > 0 {
+			pos := (float64(i) + 0.5) / float64(len(ffNames))
+			lv := depth/2 + rng.Intn(depth-depth/2)
+			for len(levels[lv]) == 0 {
+				lv = rng.Intn(depth)
+			}
+			list := levels[lv]
+			window := len(list)/16 + 2
+			idx := int(pos*float64(len(list))) + rng.Intn(2*window+1) - window
+			idx = ((idx % len(list)) + len(list)) % len(list)
+			d = list[idx]
+		} else {
+			d = piNames[rng.Intn(len(piNames))]
+		}
+		if initGates > 0 {
+			ig := fmt.Sprintf("n%d", gateID)
+			gateID++
+			pi := piNames[rng.Intn(len(piNames))]
+			op := logic.OpAnd
+			if i%2 == 1 {
+				op = logic.OpOr
+			}
+			b.Gate(ig, op, d, pi)
+			fanout[d]++
+			fanout[pi]++
+			d = ig
+			allGates = append(allGates, ig)
+		}
+		fanout[d]++
+		b.DFF(ffNames[i], d)
+	}
+
+	// POs: prefer unread late gates (cone roots) so logic is observable.
+	poSeen := map[string]bool{}
+	poCount := 0
+	for i := len(allGates) - 1; i >= 0 && poCount < spec.POs; i-- {
+		if fanout[allGates[i]] == 0 && !poSeen[allGates[i]] {
+			poSeen[allGates[i]] = true
+			b.Output(allGates[i])
+			poCount++
+		}
+	}
+	for poCount < spec.POs && len(allGates) > 0 {
+		cand := allGates[rng.Intn(len(allGates))]
+		if !poSeen[cand] {
+			poSeen[cand] = true
+			b.Output(cand)
+			poCount++
+		}
+		if len(poSeen) == len(allGates) {
+			break
+		}
+	}
+	for poCount < spec.POs {
+		// Degenerate tiny specs: expose sources.
+		cand := sources[rng.Intn(len(sources))]
+		if !poSeen[cand] {
+			poSeen[cand] = true
+			b.Output(cand)
+			poCount++
+		}
+	}
+
+	return b.Build()
+}
+
+// pickFanins draws n distinct fanin signals for a gate at level l and
+// horizontal position pos in [0,1): mostly the previous level, some skip
+// connections, some sources — all biased toward the gate's own position so
+// the network decomposes into narrow, weakly interacting cones the way
+// real datapath circuits do. Without that locality, fault effects drown in
+// reconvergent random logic and nothing is observable.
+func pickFanins(rng *rand.Rand, n, l int, pos float64, levels [][]string, sources []string, fanout map[string]int) []string {
+	seen := map[string]bool{}
+	out := make([]string, 0, n)
+	pool := len(sources)
+	for i := 0; i < l; i++ {
+		pool += len(levels[i])
+	}
+	if n > pool {
+		n = pool
+	}
+	near := func(list []string) string {
+		m := len(list)
+		center := int(pos * float64(m))
+		window := m/16 + 2
+		idx := center + rng.Intn(2*window+1) - window
+		idx = ((idx % m) + m) % m
+		return list[idx]
+	}
+	for len(out) < n {
+		var cand string
+		r := rng.Intn(100)
+		switch {
+		case l > 0 && r < 62 && len(levels[l-1]) > 0:
+			cand = near(levels[l-1])
+		case l > 1 && r < 82:
+			lv := rng.Intn(l)
+			if len(levels[lv]) == 0 {
+				continue
+			}
+			cand = near(levels[lv])
+		case r < 97 || len(sources) < 2:
+			cand = near(sources)
+		default:
+			// Rare global stem: long-range connection (clock-enable-like).
+			cand = sources[rng.Intn(len(sources))]
+		}
+		if seen[cand] {
+			continue
+		}
+		seen[cand] = true
+		out = append(out, cand)
+		fanout[cand]++
+	}
+	return out
+}
+
+// outProb estimates a gate's one-probability from its fanin estimates
+// under an independence assumption.
+func outProb(op logic.Op, fanin []string, prob map[string]float64) float64 {
+	p := func(n string) float64 { return prob[n] }
+	switch op.Base() {
+	case logic.OpAnd:
+		out := 1.0
+		for _, f := range fanin {
+			out *= p(f)
+		}
+		if op.Inverting() {
+			out = 1 - out
+		}
+		return out
+	case logic.OpOr:
+		out := 1.0
+		for _, f := range fanin {
+			out *= 1 - p(f)
+		}
+		if !op.Inverting() {
+			out = 1 - out
+		}
+		return out
+	case logic.OpXor:
+		out := 0.0
+		for _, f := range fanin {
+			out = out*(1-p(f)) + (1-out)*p(f)
+		}
+		if op.Inverting() {
+			out = 1 - out
+		}
+		return out
+	default: // BUFF base
+		out := p(fanin[0])
+		if op.Inverting() {
+			out = 1 - out
+		}
+		return out
+	}
+}
+
+// balanceFamily swaps an AND-family gate for its OR-family dual (keeping
+// the inversion) when the dual's output probability is meaningfully closer
+// to one half.
+func balanceFamily(op logic.Op, fanin []string, prob map[string]float64) logic.Op {
+	var dual logic.Op
+	switch op {
+	case logic.OpAnd:
+		dual = logic.OpOr
+	case logic.OpNand:
+		dual = logic.OpNor
+	case logic.OpOr:
+		dual = logic.OpAnd
+	case logic.OpNor:
+		dual = logic.OpNand
+	default:
+		return op
+	}
+	skew := func(p float64) float64 {
+		if p < 0.5 {
+			return 0.5 - p
+		}
+		return p - 0.5
+	}
+	if skew(outProb(dual, fanin, prob))+0.05 < skew(outProb(op, fanin, prob)) {
+		return dual
+	}
+	return op
+}

@@ -1,0 +1,162 @@
+// Package harness runs the paper's experiments: it pairs circuits with
+// test sets, runs a chosen simulator configuration, and collects the
+// CPU-time / memory / coverage measurements that Tables 2-6 report.
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/csim"
+	"repro/internal/faults"
+	"repro/internal/proofs"
+	"repro/internal/vectors"
+)
+
+// Engine names a simulator configuration under measurement.
+type Engine string
+
+// The measured engines. CsimV/CsimM/CsimMV are the paper's variants;
+// CsimPlain (no improvements) and CsimEager (full-scan dropping) exist for
+// ablations.
+const (
+	CsimPlain Engine = "csim"
+	CsimV     Engine = "csim-V"
+	CsimM     Engine = "csim-M"
+	CsimMV    Engine = "csim-MV"
+	CsimEager Engine = "csim-MV-eagerdrop"
+	// CsimReconv uses the paper's reconvergent-macro extension.
+	CsimReconv Engine = "csim-MV-reconvergent"
+	PROOFS     Engine = "PROOFS"
+)
+
+// Config returns the csim configuration for a csim engine.
+func (e Engine) Config() csim.Config {
+	switch e {
+	case CsimV:
+		return csim.V()
+	case CsimM:
+		return csim.M()
+	case CsimMV:
+		return csim.MV()
+	case CsimEager:
+		cfg := csim.MV()
+		cfg.EagerDrop = true
+		return cfg
+	case CsimReconv:
+		cfg := csim.MV()
+		cfg.ReconvergentMacros = true
+		return cfg
+	default:
+		return csim.Config{}
+	}
+}
+
+// Measurement is one table cell group: an engine run on one workload.
+type Measurement struct {
+	Engine   Engine
+	Circuit  string
+	Patterns int
+	Faults   int
+	Detected int
+	PotOnly  int // potentially-but-never-hard detected
+	Coverage float64
+	CPU      time.Duration
+	MemBytes int64 // accounted fault-structure memory at peak
+}
+
+// FltCvg returns hard coverage in percent.
+func (m Measurement) FltCvg() float64 { return 100 * m.Coverage }
+
+// Run measures one engine over a universe and test set.
+func Run(engine Engine, u *faults.Universe, vs *vectors.Set) (Measurement, error) {
+	m := Measurement{
+		Engine:   engine,
+		Circuit:  u.Circuit.Name,
+		Patterns: vs.Len(),
+		Faults:   u.NumFaults(),
+	}
+	start := time.Now()
+	var res *faults.Result
+	switch engine {
+	case PROOFS:
+		sim, err := proofs.New(u)
+		if err != nil {
+			return m, err
+		}
+		res = sim.Run(vs)
+		m.MemBytes = sim.Stats().MemBytes
+	default:
+		sim, err := csim.New(u, engine.Config())
+		if err != nil {
+			return m, err
+		}
+		res = sim.Run(vs)
+		m.MemBytes = sim.Stats().MemBytes
+	}
+	m.CPU = time.Since(start)
+	m.Detected = res.NumDet
+	m.PotOnly = res.NumPotOnly()
+	m.Coverage = res.Coverage()
+	return m, nil
+}
+
+// Table renders rows of measurements as an aligned text table.
+type Table struct {
+	Title   string
+	Header  []string
+	Rows    [][]string
+	Caption string
+}
+
+// Add appends a row.
+func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		line(r)
+	}
+	if t.Caption != "" {
+		fmt.Fprintf(&b, "%s\n", t.Caption)
+	}
+	return b.String()
+}
+
+// Seconds formats a duration as the paper's CPU columns (seconds).
+func Seconds(d time.Duration) string { return fmt.Sprintf("%.2f", d.Seconds()) }
+
+// Meg formats bytes as megabytes.
+func Meg(b int64) string { return fmt.Sprintf("%.2f", float64(b)/(1<<20)) }

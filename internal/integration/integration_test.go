@@ -1,0 +1,190 @@
+// Package integration cross-validates every simulator on randomly
+// generated circuits — the strongest property test in the repository: for
+// any circuit the generator can produce and any random workload, csim in
+// all four configurations, PROOFS and the serial oracle must report
+// identical detections, first-detection times and potential detections.
+package integration
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/csim"
+	"repro/internal/faults"
+	"repro/internal/gen"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/proofs"
+	"repro/internal/serial"
+	"repro/internal/vectors"
+)
+
+func genCircuit(t *testing.T, seed int64, pis, pos, ffs, gates int) *netlist.Circuit {
+	t.Helper()
+	c, err := gen.Generate(gen.Spec{
+		Name: fmt.Sprintf("rnd%d", seed),
+		PIs:  pis, POs: pos, DFFs: ffs, Gates: gates, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func compare(t *testing.T, tag string, want, got *faults.Result) {
+	t.Helper()
+	if d := want.Diff(got); d != "" {
+		t.Errorf("%s: detections differ:\n%s", tag, d)
+		return
+	}
+	for i := range want.DetectedAt {
+		if want.DetectedAt[i] != got.DetectedAt[i] {
+			t.Errorf("%s: fault %s first detected at %d, oracle %d", tag,
+				want.Universe.Faults[i].Name(want.Universe.Circuit),
+				got.DetectedAt[i], want.DetectedAt[i])
+			return
+		}
+		if want.PotDetected[i] != got.PotDetected[i] {
+			t.Errorf("%s: fault %s potential %v, oracle %v", tag,
+				want.Universe.Faults[i].Name(want.Universe.Circuit),
+				got.PotDetected[i], want.PotDetected[i])
+			return
+		}
+	}
+}
+
+// TestRandomCircuitsAllEnginesAgree sweeps seeds and circuit shapes.
+func TestRandomCircuitsAllEnginesAgree(t *testing.T) {
+	shapes := []struct{ pis, pos, ffs, gates int }{
+		{2, 2, 0, 12},   // small combinational
+		{3, 3, 4, 30},   // small sequential
+		{5, 4, 8, 80},   // medium
+		{8, 6, 12, 150}, // larger, reconvergent
+	}
+	configs := []struct {
+		name string
+		cfg  csim.Config
+	}{
+		{"plain", csim.Config{}},
+		{"V", csim.V()},
+		{"M", csim.M()},
+		{"MV", csim.MV()},
+	}
+	for si, shape := range shapes {
+		for seed := int64(1); seed <= 3; seed++ {
+			c := genCircuit(t, seed*100+int64(si), shape.pis, shape.pos, shape.ffs, shape.gates)
+			u := faults.StuckCollapsed(c)
+			vs := vectors.Random(c, 80, seed)
+			oracle := serial.Simulate(u, vs)
+			for _, cf := range configs {
+				sim, err := csim.New(u, cf.cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				compare(t, fmt.Sprintf("%s/csim-%s", c.Name, cf.name), oracle, sim.Run(vs))
+			}
+			pr, err := proofs.New(u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			compare(t, c.Name+"/PROOFS", oracle, pr.Run(vs))
+		}
+	}
+}
+
+// TestRandomCircuitsTransitionAgree does the same for the transition-fault
+// model (csim vs serial; PROOFS does not support transition faults).
+func TestRandomCircuitsTransitionAgree(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		c := genCircuit(t, 900+seed, 4, 3, 6, 60)
+		u := faults.Transition(c)
+		vs := vectors.Random(c, 100, seed)
+		oracle := serial.Simulate(u, vs)
+		for _, cfg := range []csim.Config{{}, csim.MV()} {
+			sim, err := csim.New(u, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			compare(t, fmt.Sprintf("%s/macros=%v", c.Name, cfg.Macros), oracle, sim.Run(vs))
+		}
+	}
+}
+
+// TestDecomposedCircuitSameDetections: wide-gate decomposition must not
+// change which (original-site) faults the workload detects for faults on
+// preserved gates.
+func TestDecomposedCircuitSameDetections(t *testing.T) {
+	b := netlist.NewBuilder("wide")
+	in := make([]string, 12)
+	for i := range in {
+		in[i] = fmt.Sprintf("i%d", i)
+		b.Input(in[i])
+	}
+	b.Gate("z", logic.OpNand, in...)
+	b.Output("z")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := netlist.Decompose(c, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare PI-output fault detections (shared sites).
+	uc := faults.StuckAll(c)
+	ud := faults.StuckAll(d)
+	vs := vectors.Random(c, 300, 5)
+	rc := serial.Simulate(uc, vs)
+	rd := serial.Simulate(ud, vs)
+	for _, name := range in {
+		gc := c.MustByName(name)
+		gd := d.MustByName(name)
+		for _, k := range []faults.Kind{faults.SA0, faults.SA1} {
+			var fc, fd int32 = -1, -1
+			for i, f := range uc.Faults {
+				if f.Gate == gc && f.Pin == faults.OutPin && f.Kind == k {
+					fc = int32(i)
+				}
+			}
+			for i, f := range ud.Faults {
+				if f.Gate == gd && f.Pin == faults.OutPin && f.Kind == k {
+					fd = int32(i)
+				}
+			}
+			if rc.Detected[fc] != rd.Detected[fd] {
+				t.Errorf("fault %s %v: original %v, decomposed %v",
+					name, k, rc.Detected[fc], rd.Detected[fd])
+			}
+		}
+	}
+}
+
+// TestLongRunStability: a long random campaign on a mid-size circuit must
+// keep csim's element accounting consistent (no leaks, no corruption) and
+// match PROOFS at the end.
+func TestLongRunStability(t *testing.T) {
+	c := genCircuit(t, 4242, 6, 6, 10, 120)
+	u := faults.StuckCollapsed(c)
+	vs := vectors.Random(c, 2000, 17)
+	sim, err := csim.New(u, csim.MV())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sim.Run(vs)
+	st := sim.Stats()
+	if st.CurElems < 0 || st.CurElems > st.PeakElems {
+		t.Errorf("element accounting broken: %+v", st)
+	}
+	pr, err := proofs.New(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareLite(t, res, pr.Run(vs))
+}
+
+func compareLite(t *testing.T, a, b *faults.Result) {
+	t.Helper()
+	if d := a.Diff(b); d != "" {
+		t.Errorf("long-run divergence:\n%s", d)
+	}
+}

@@ -1,0 +1,53 @@
+package iscas
+
+import (
+	"testing"
+)
+
+func TestS27IsReal(t *testing.T) {
+	c := MustGet("s27")
+	st := c.Stats()
+	if st.PIs != 4 || st.POs != 1 || st.DFFs != 3 || st.Gates != 10 {
+		t.Errorf("s27 stats wrong: %v", st)
+	}
+	if _, ok := c.ByName("G17"); !ok {
+		t.Error("s27 missing G17 (not the real netlist?)")
+	}
+}
+
+func TestSuiteShapesMatchPublished(t *testing.T) {
+	for _, info := range Suite {
+		if info.Gates > 1000 && testing.Short() {
+			continue
+		}
+		c, err := Get(info.Name)
+		if err != nil {
+			t.Fatalf("%s: %v", info.Name, err)
+		}
+		st := c.Stats()
+		if st.PIs != info.PIs || st.POs != info.POs || st.DFFs != info.DFFs || st.Gates != info.Gates {
+			t.Errorf("%s: generated %v, want %+v", info.Name, st, info)
+		}
+	}
+}
+
+func TestGetCaches(t *testing.T) {
+	a := MustGet("s298")
+	b := MustGet("s298")
+	if a != b {
+		t.Error("Get did not cache")
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("s9999"); err == nil {
+		t.Error("unknown circuit accepted")
+	}
+}
+
+func TestNames(t *testing.T) {
+	names := Names()
+	if len(names) != len(Suite) || names[0] != "s27" {
+		t.Errorf("Names() = %v", names)
+	}
+}

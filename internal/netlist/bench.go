@@ -1,0 +1,144 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/logic"
+)
+
+// ParseBench reads a circuit in ISCAS-89 .bench format:
+//
+//	# comment
+//	INPUT(G0)
+//	OUTPUT(G17)
+//	G10 = NAND(G0, G4)
+//	G5  = DFF(G10)
+//
+// Keywords are case-insensitive; whitespace is free-form.
+func ParseBench(name string, r io.Reader) (*Circuit, error) {
+	b := NewBuilder(name)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if err := parseBenchLine(b, line); err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", name, lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	return b.Build()
+}
+
+// ParseBenchString parses .bench text from a string.
+func ParseBenchString(name, text string) (*Circuit, error) {
+	return ParseBench(name, strings.NewReader(text))
+}
+
+func parseBenchLine(b *Builder, line string) error {
+	if eq := strings.IndexByte(line, '='); eq >= 0 {
+		lhs := strings.TrimSpace(line[:eq])
+		rhs := strings.TrimSpace(line[eq+1:])
+		op, args, err := parseCall(rhs)
+		if err != nil {
+			return err
+		}
+		gop, err := logic.ParseOp(op)
+		if err != nil {
+			return err
+		}
+		if gop == logic.OpDFF {
+			if len(args) != 1 {
+				return fmt.Errorf("DFF %q needs exactly one input, got %d", lhs, len(args))
+			}
+			b.DFF(lhs, args[0])
+			return nil
+		}
+		b.Gate(lhs, gop, args...)
+		return nil
+	}
+	op, args, err := parseCall(line)
+	if err != nil {
+		return err
+	}
+	if len(args) != 1 {
+		return fmt.Errorf("%s declaration needs one signal, got %d", op, len(args))
+	}
+	switch strings.ToUpper(op) {
+	case "INPUT":
+		b.Input(args[0])
+	case "OUTPUT":
+		b.Output(args[0])
+	default:
+		return fmt.Errorf("unrecognized declaration %q", op)
+	}
+	return nil
+}
+
+// parseCall splits "OP(a, b, c)" into its keyword and arguments.
+func parseCall(s string) (op string, args []string, err error) {
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return "", nil, fmt.Errorf("malformed expression %q", s)
+	}
+	op = strings.TrimSpace(s[:open])
+	inner := s[open+1 : len(s)-1]
+	if strings.TrimSpace(inner) == "" {
+		return op, nil, nil
+	}
+	for _, a := range strings.Split(inner, ",") {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			return "", nil, fmt.Errorf("empty argument in %q", s)
+		}
+		args = append(args, a)
+	}
+	return op, args, nil
+}
+
+// WriteBench serializes the circuit in .bench format. Parsing the output
+// reproduces an isomorphic circuit (round-trip property).
+func WriteBench(w io.Writer, c *Circuit) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s\n", c.Name)
+	for _, id := range c.PIs {
+		fmt.Fprintf(bw, "INPUT(%s)\n", c.Gates[id].Name)
+	}
+	for _, id := range c.POs {
+		fmt.Fprintf(bw, "OUTPUT(%s)\n", c.Gates[id].Name)
+	}
+	for i := range c.Gates {
+		g := &c.Gates[i]
+		if g.Op == logic.OpInput {
+			continue
+		}
+		names := make([]string, len(g.Fanin))
+		for j, f := range g.Fanin {
+			names[j] = c.Gates[f].Name
+		}
+		fmt.Fprintf(bw, "%s = %s(%s)\n", g.Name, g.Op, strings.Join(names, ", "))
+	}
+	return bw.Flush()
+}
+
+// BenchString renders the circuit as .bench text.
+func BenchString(c *Circuit) string {
+	var sb strings.Builder
+	if err := WriteBench(&sb, c); err != nil {
+		panic(err) // strings.Builder never errors
+	}
+	return sb.String()
+}

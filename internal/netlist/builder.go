@@ -1,0 +1,212 @@
+package netlist
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/logic"
+)
+
+// Builder assembles a Circuit incrementally by signal name. Signals may be
+// referenced before they are defined; Build resolves everything, validates
+// arities, detects combinational cycles and levelizes.
+type Builder struct {
+	name    string
+	gates   []protoGate
+	byName  map[string]int
+	inputs  []string
+	outputs []string
+	errs    []error
+}
+
+type protoGate struct {
+	name  string
+	op    logic.Op
+	fanin []string
+}
+
+// NewBuilder returns an empty builder for a circuit with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, byName: make(map[string]int)}
+}
+
+func (b *Builder) errf(format string, args ...any) {
+	b.errs = append(b.errs, fmt.Errorf(format, args...))
+}
+
+func (b *Builder) define(name string, op logic.Op, fanin []string) {
+	if name == "" {
+		b.errf("netlist: empty signal name")
+		return
+	}
+	if _, dup := b.byName[name]; dup {
+		b.errf("netlist: signal %q defined twice", name)
+		return
+	}
+	b.byName[name] = len(b.gates)
+	b.gates = append(b.gates, protoGate{name: name, op: op, fanin: fanin})
+}
+
+// Input declares a primary input signal.
+func (b *Builder) Input(name string) *Builder {
+	b.inputs = append(b.inputs, name)
+	b.define(name, logic.OpInput, nil)
+	return b
+}
+
+// Output marks an existing or future signal as a primary output.
+func (b *Builder) Output(name string) *Builder {
+	b.outputs = append(b.outputs, name)
+	return b
+}
+
+// Gate defines a combinational gate driving signal name.
+func (b *Builder) Gate(name string, op logic.Op, fanin ...string) *Builder {
+	b.define(name, op, fanin)
+	return b
+}
+
+// DFF defines a D flip-flop whose output drives signal name and whose D
+// input is the signal d.
+func (b *Builder) DFF(name, d string) *Builder {
+	b.define(name, logic.OpDFF, []string{d})
+	return b
+}
+
+func arityOK(op logic.Op, n int) bool {
+	switch op {
+	case logic.OpInput:
+		return n == 0
+	case logic.OpNot, logic.OpBuf, logic.OpDFF:
+		return n == 1
+	case logic.OpXor, logic.OpXnor:
+		return n >= 2
+	default:
+		return n >= 1
+	}
+}
+
+// Build resolves the netlist into a levelized Circuit. It returns the
+// first accumulated error, if any.
+func (b *Builder) Build() (*Circuit, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	c := &Circuit{
+		Name:   b.name,
+		Gates:  make([]Gate, len(b.gates)),
+		byName: make(map[string]GateID, len(b.gates)),
+	}
+	for i, p := range b.gates {
+		c.Gates[i] = Gate{Name: p.name, Op: p.op}
+		c.byName[p.name] = GateID(i)
+	}
+	for i, p := range b.gates {
+		if !arityOK(p.op, len(p.fanin)) {
+			return nil, fmt.Errorf("netlist: gate %q (%v) has %d inputs", p.name, p.op, len(p.fanin))
+		}
+		if len(p.fanin) > logic.MaxPins {
+			return nil, fmt.Errorf("netlist: gate %q has %d inputs; exceeds %d (run Decompose)",
+				p.name, len(p.fanin), logic.MaxPins)
+		}
+		for _, fn := range p.fanin {
+			src, ok := c.byName[fn]
+			if !ok {
+				return nil, fmt.Errorf("netlist: gate %q references undriven signal %q", p.name, fn)
+			}
+			c.Gates[i].Fanin = append(c.Gates[i].Fanin, src)
+			c.Gates[src].Fanout = append(c.Gates[src].Fanout, GateID(i))
+		}
+		switch p.op {
+		case logic.OpInput:
+			c.PIs = append(c.PIs, GateID(i))
+		case logic.OpDFF:
+			c.DFFs = append(c.DFFs, GateID(i))
+		}
+	}
+	seenPO := make(map[string]bool)
+	for _, on := range b.outputs {
+		id, ok := c.byName[on]
+		if !ok {
+			return nil, fmt.Errorf("netlist: primary output %q is undriven", on)
+		}
+		if seenPO[on] {
+			continue
+		}
+		seenPO[on] = true
+		c.POs = append(c.POs, id)
+		c.Gates[id].PO = true
+	}
+	if err := c.levelize(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// levelize assigns combinational levels: sources (PIs, DFFs) at level 0,
+// every other gate at 1 + max(fanin levels). Detects combinational cycles.
+func (c *Circuit) levelize() error {
+	const unset = int32(-1)
+	for i := range c.Gates {
+		if c.Gates[i].IsSource() {
+			c.Gates[i].Level = 0
+		} else {
+			c.Gates[i].Level = unset
+		}
+	}
+	// Kahn-style: count unresolved combinational fanins.
+	pending := make([]int32, len(c.Gates))
+	queue := make([]GateID, 0, len(c.Gates))
+	for i := range c.Gates {
+		g := &c.Gates[i]
+		if g.IsSource() {
+			queue = append(queue, GateID(i))
+			continue
+		}
+		pending[i] = int32(len(g.Fanin))
+	}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		for _, fo := range c.Gates[id].Fanout {
+			fg := &c.Gates[fo]
+			if fg.IsSource() {
+				continue // DFF D-input does not propagate levels
+			}
+			pending[fo]--
+			if pending[fo] == 0 {
+				lvl := int32(0)
+				for _, fi := range fg.Fanin {
+					if l := c.Gates[fi].Level; l > lvl {
+						lvl = l
+					}
+				}
+				fg.Level = lvl + 1
+				queue = append(queue, fo)
+			}
+		}
+	}
+	for i := range c.Gates {
+		if c.Gates[i].Level == unset {
+			return fmt.Errorf("netlist: combinational cycle through gate %q", c.Gates[i].Name)
+		}
+	}
+	c.MaxLevel = 0
+	for i := range c.Gates {
+		if l := c.Gates[i].Level; l > c.MaxLevel {
+			c.MaxLevel = l
+		}
+	}
+	c.Levels = make([][]GateID, c.MaxLevel+1)
+	for i := range c.Gates {
+		g := &c.Gates[i]
+		if g.IsSource() {
+			continue
+		}
+		c.Levels[g.Level] = append(c.Levels[g.Level], GateID(i))
+	}
+	for _, lv := range c.Levels {
+		sort.Slice(lv, func(a, b int) bool { return lv[a] < lv[b] })
+	}
+	return nil
+}

@@ -1,0 +1,278 @@
+// Package timingsim is the general arbitrary-delay simulation engine the
+// paper's §2 sketches before specializing to zero delay: a two-phase
+// event-driven simulator with a timing wheel. Gates carry arbitrary (but
+// known) integer propagation delays; in the first phase matured events
+// assign values to gate outputs, and in the second phase the fanout gates
+// are evaluated and new events are posted.
+//
+// The zero-delay levelized scheme used by the fault simulators is the
+// specialization of this engine to synchronous circuits; the equivalence
+// (identical settled values at sample points for any delay assignment of a
+// combinational network) is checked in the tests. The engine also injects
+// single stuck-at faults, so delay-accurate faulty waveforms — including
+// hazards invisible to zero-delay simulation — can be observed.
+package timingsim
+
+import (
+	"fmt"
+
+	"repro/internal/faults"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// WheelSize is the timing-wheel circumference; delays must be smaller.
+const WheelSize = 1024
+
+// Sim is an arbitrary-delay event-driven simulator for the combinational
+// part of a circuit. Flip-flop outputs are treated as externally assigned
+// sources (use LatchFFs at clock boundaries).
+type Sim struct {
+	c     *netlist.Circuit
+	delay []int32 // per gate, in time units
+
+	val []logic.V
+	now int64
+
+	// Timing wheel: wheel[t % WheelSize] holds the list events maturing
+	// at time t ("for unit delay simulation one can use a list event to
+	// queue a collection of elements whose output values change at the
+	// same time", §2).
+	wheel   [][]event
+	pending int
+
+	// Second-phase local queue of gates to evaluate.
+	evalQ   []netlist.GateID
+	inEvalQ []bool
+
+	fault *faults.Fault // optional injected stuck-at fault
+
+	// Trace, when non-nil, observes every output change with its time.
+	Trace func(t int64, g netlist.GateID, v logic.V)
+
+	Events int // matured output-change events (instrumentation)
+}
+
+type event struct {
+	gate netlist.GateID
+	val  logic.V
+}
+
+// New builds a simulator with uniform unit delays.
+func New(c *netlist.Circuit) *Sim {
+	d := make([]int32, len(c.Gates))
+	for i := range d {
+		d[i] = 1
+	}
+	s, err := NewWithDelays(c, d)
+	if err != nil {
+		panic(err) // unit delays are always valid
+	}
+	return s
+}
+
+// NewWithDelays builds a simulator with per-gate delays (sources may have
+// delay 0; combinational gates must have delay >= 1).
+func NewWithDelays(c *netlist.Circuit, delay []int32) (*Sim, error) {
+	if len(delay) != len(c.Gates) {
+		return nil, fmt.Errorf("timingsim: %d delays for %d gates", len(delay), len(c.Gates))
+	}
+	for i, d := range delay {
+		if c.Gates[i].IsSource() {
+			continue
+		}
+		if d < 1 || d >= WheelSize {
+			return nil, fmt.Errorf("timingsim: gate %s delay %d outside [1,%d)",
+				c.Gates[i].Name, d, WheelSize-1)
+		}
+	}
+	s := &Sim{
+		c:       c,
+		delay:   append([]int32(nil), delay...),
+		val:     make([]logic.V, len(c.Gates)),
+		wheel:   make([][]event, WheelSize),
+		inEvalQ: make([]bool, len(c.Gates)),
+	}
+	for i := range s.val {
+		s.val[i] = logic.X
+	}
+	return s, nil
+}
+
+// Now returns the current simulation time.
+func (s *Sim) Now() int64 { return s.now }
+
+// Val returns the current value of a gate output.
+func (s *Sim) Val(g netlist.GateID) logic.V { return s.val[g] }
+
+// InjectFault installs a single stuck-at fault (nil clears). Values
+// already computed are not retroactively changed; inject before driving.
+func (s *Sim) InjectFault(f *faults.Fault) error {
+	if f != nil && !f.Kind.Stuck() {
+		return fmt.Errorf("timingsim: only stuck-at faults are injectable, got %v", f.Kind)
+	}
+	s.fault = f
+	if f != nil && f.Pin == faults.OutPin {
+		s.setNow(f.Gate, f.Kind.StuckValue())
+	}
+	return nil
+}
+
+// SetSource assigns a primary input or flip-flop output at the current
+// time; the change propagates as events.
+func (s *Sim) SetSource(g netlist.GateID, v logic.V) error {
+	if !s.c.Gate(g).IsSource() {
+		return fmt.Errorf("timingsim: %s is not a source", s.c.Gate(g).Name)
+	}
+	if s.fault != nil && s.fault.Gate == g && s.fault.Pin == faults.OutPin {
+		v = s.fault.Kind.StuckValue()
+	}
+	s.setNow(g, v)
+	return nil
+}
+
+// setNow applies an output value at the current time and schedules the
+// second phase for the fanout gates.
+func (s *Sim) setNow(g netlist.GateID, v logic.V) {
+	v = v.Norm()
+	if s.val[g] == v {
+		return
+	}
+	s.val[g] = v
+	s.Events++
+	if s.Trace != nil {
+		s.Trace(s.now, g, v)
+	}
+	for _, fo := range s.c.Gate(g).Fanout {
+		s.enqueueEval(fo)
+	}
+}
+
+func (s *Sim) enqueueEval(g netlist.GateID) {
+	if s.c.Gate(g).IsSource() || s.inEvalQ[g] {
+		return
+	}
+	s.inEvalQ[g] = true
+	s.evalQ = append(s.evalQ, g)
+}
+
+// phase2 evaluates every gate affected at the current time and posts
+// output events after each gate's delay.
+func (s *Sim) phase2() {
+	var in [logic.MaxPins]logic.V
+	for qi := 0; qi < len(s.evalQ); qi++ {
+		g := s.evalQ[qi]
+		s.inEvalQ[g] = false
+		gt := s.c.Gate(g)
+		for j, f := range gt.Fanin {
+			v := s.val[f]
+			if s.fault != nil && s.fault.Gate == g && s.fault.Pin == j {
+				v = s.fault.Kind.StuckValue()
+			}
+			in[j] = v
+		}
+		out := logic.Eval(gt.Op, in[:len(gt.Fanin)])
+		if s.fault != nil && s.fault.Gate == g && s.fault.Pin == faults.OutPin {
+			out = s.fault.Kind.StuckValue()
+		}
+		s.post(g, out, int64(s.delay[g]))
+	}
+	s.evalQ = s.evalQ[:0]
+}
+
+// post schedules an output-change event after the given delay. A newer
+// evaluation for the same gate supersedes any pending event at a later
+// slot only implicitly: when the pending event matures, a no-change
+// assignment is discarded (inertial-delay approximation).
+func (s *Sim) post(g netlist.GateID, v logic.V, delay int64) {
+	t := s.now + delay
+	slot := int(t % WheelSize)
+	s.wheel[slot] = append(s.wheel[slot], event{gate: g, val: v})
+	s.pending++
+}
+
+// Step advances time to the next slot with matured events and processes
+// one full two-phase round. It reports whether any events remain.
+func (s *Sim) Step() bool {
+	if s.pending == 0 && len(s.evalQ) > 0 {
+		s.phase2()
+	}
+	if s.pending == 0 {
+		return false
+	}
+	// Advance to the next nonempty slot (bounded by the wheel size).
+	for i := 0; i < WheelSize; i++ {
+		s.now++
+		slot := int(s.now % WheelSize)
+		if len(s.wheel[slot]) == 0 {
+			continue
+		}
+		// Phase 1: assign matured values.
+		evs := s.wheel[slot]
+		s.wheel[slot] = nil
+		s.pending -= len(evs)
+		for _, ev := range evs {
+			s.setNow(ev.gate, ev.val)
+		}
+		// Phase 2: evaluate affected gates.
+		s.phase2()
+		return s.pending > 0 || len(s.evalQ) > 0
+	}
+	return s.pending > 0
+}
+
+// Settle runs until no events remain or maxSteps rounds have run. It
+// reports whether the network quiesced.
+func (s *Sim) Settle(maxSteps int) bool {
+	if len(s.evalQ) > 0 {
+		s.phase2()
+	}
+	for i := 0; i < maxSteps; i++ {
+		if !s.Step() {
+			return s.pending == 0 && len(s.evalQ) == 0
+		}
+	}
+	return s.pending == 0 && len(s.evalQ) == 0
+}
+
+// ApplyVector assigns all primary inputs and settles the network.
+func (s *Sim) ApplyVector(vec []logic.V, maxSteps int) (bool, error) {
+	if len(vec) != len(s.c.PIs) {
+		return false, fmt.Errorf("timingsim: vector width %d, want %d", len(vec), len(s.c.PIs))
+	}
+	for i, pi := range s.c.PIs {
+		if err := s.SetSource(pi, vec[i]); err != nil {
+			return false, err
+		}
+	}
+	return s.Settle(maxSteps), nil
+}
+
+// LatchFFs samples every flip-flop's D input (with D-pin fault forcing)
+// and assigns the outputs, as a synchronous clock edge.
+func (s *Sim) LatchFFs() {
+	next := make([]logic.V, len(s.c.DFFs))
+	for i, ff := range s.c.DFFs {
+		d := s.val[s.c.Gate(ff).Fanin[0]]
+		if s.fault != nil && s.fault.Gate == ff && s.fault.Pin == 0 {
+			d = s.fault.Kind.StuckValue()
+		}
+		next[i] = d
+	}
+	for i, ff := range s.c.DFFs {
+		v := next[i]
+		if s.fault != nil && s.fault.Gate == ff && s.fault.Pin == faults.OutPin {
+			v = s.fault.Kind.StuckValue()
+		}
+		s.setNow(ff, v)
+	}
+}
+
+// Outputs returns the current PO values.
+func (s *Sim) Outputs() []logic.V {
+	out := make([]logic.V, len(s.c.POs))
+	for i, po := range s.c.POs {
+		out[i] = s.val[po]
+	}
+	return out
+}

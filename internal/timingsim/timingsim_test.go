@@ -1,0 +1,270 @@
+package timingsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/goodsim"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/vectors"
+)
+
+const s27Bench = `
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NAND(G2, G12)
+`
+
+func mustParse(t *testing.T, name, text string) *netlist.Circuit {
+	t.Helper()
+	c, err := netlist.ParseBenchString(name, text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestUnitDelayMatchesZeroDelayAtSamplePoints: for a synchronous circuit,
+// the settled values at each clock boundary must agree with the zero-delay
+// levelized simulator, for unit delays.
+func TestUnitDelayMatchesZeroDelay(t *testing.T) {
+	c := mustParse(t, "s27", s27Bench)
+	ts := New(c)
+	zs := goodsim.New(c)
+	vs := vectors.Random(c, 100, 11)
+	for cyc, vec := range vs.Vecs {
+		ok, err := ts.ApplyVector(vec, 10000)
+		if err != nil || !ok {
+			t.Fatalf("cycle %d: settle failed: %v", cyc, err)
+		}
+		zs.Apply(vec)
+		for i := range c.Gates {
+			id := netlist.GateID(i)
+			if ts.Val(id) != zs.Val(id) {
+				t.Fatalf("cycle %d gate %s: timing %v, zero-delay %v",
+					cyc, c.Gate(id).Name, ts.Val(id), zs.Val(id))
+			}
+		}
+		ts.LatchFFs()
+		if !ts.Settle(10000) {
+			t.Fatalf("cycle %d: post-clock settle failed", cyc)
+		}
+		zs.Clock()
+	}
+}
+
+// TestSettledValuesDelayIndependent: the steady state of a combinational
+// network does not depend on the delay assignment.
+func TestSettledValuesDelayIndependent(t *testing.T) {
+	c := mustParse(t, "s27", s27Bench)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 5; trial++ {
+		d := make([]int32, len(c.Gates))
+		for i := range d {
+			d[i] = int32(1 + rng.Intn(20))
+		}
+		ts, err := NewWithDelays(c, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		zs := goodsim.New(c)
+		vs := vectors.Random(c, 40, int64(trial))
+		for cyc, vec := range vs.Vecs {
+			ok, err := ts.ApplyVector(vec, 100000)
+			if err != nil || !ok {
+				t.Fatalf("trial %d cycle %d: settle failed: %v", trial, cyc, err)
+			}
+			zs.Apply(vec)
+			for i := range c.Gates {
+				id := netlist.GateID(i)
+				if ts.Val(id) != zs.Val(id) {
+					t.Fatalf("trial %d cycle %d gate %s: %v vs %v",
+						trial, cyc, c.Gate(id).Name, ts.Val(id), zs.Val(id))
+				}
+			}
+			ts.LatchFFs()
+			ts.Settle(100000)
+			zs.Clock()
+		}
+	}
+}
+
+// TestStaticHazardVisible: a slow inverter on one arm of OR(a, NOT(a))
+// produces a transient 0 pulse that zero-delay simulation cannot show —
+// the reason concurrent simulation's arbitrary-delay capability matters.
+func TestStaticHazardVisible(t *testing.T) {
+	c := mustParse(t, "hazard", "INPUT(a)\nOUTPUT(z)\nna = NOT(a)\nz = OR(a, na)\n")
+	d := make([]int32, len(c.Gates))
+	for i := range d {
+		d[i] = 1
+	}
+	d[c.MustByName("na")] = 3 // slow inverter
+	ts, err := NewWithDelays(c, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var zTrace []logic.V
+	z := c.MustByName("z")
+	ts.Trace = func(_ int64, g netlist.GateID, v logic.V) {
+		if g == z {
+			zTrace = append(zTrace, v)
+		}
+	}
+	// Establish a=1 (z=1), then drop a: z glitches 1 -> 0 -> 1.
+	one := []logic.V{logic.One}
+	zero := []logic.V{logic.Zero}
+	if ok, _ := ts.ApplyVector(one, 1000); !ok {
+		t.Fatal("settle failed")
+	}
+	zTrace = nil
+	if ok, _ := ts.ApplyVector(zero, 1000); !ok {
+		t.Fatal("settle failed")
+	}
+	want := []logic.V{logic.Zero, logic.One}
+	if len(zTrace) != 2 || zTrace[0] != want[0] || zTrace[1] != want[1] {
+		t.Errorf("z trace = %v, want glitch %v", zTrace, want)
+	}
+	if ts.Val(z) != logic.One {
+		t.Errorf("settled z = %v, want 1", ts.Val(z))
+	}
+	// Zero-delay reference shows no glitch: z stays 1.
+	zs := goodsim.New(c)
+	zs.Apply(one)
+	zs.Apply(zero)
+	if zs.Val(z) != logic.One {
+		t.Errorf("zero-delay z = %v, want 1", zs.Val(z))
+	}
+}
+
+// TestFaultInjectionMatchesSerialAtSamplePoints: settled faulty values must
+// match the zero-delay serial fault machine at every clock boundary.
+func TestFaultInjectionMatchesSerial(t *testing.T) {
+	c := mustParse(t, "ff", "INPUT(a)\nINPUT(b)\nOUTPUT(z)\nq = DFF(n)\nn = NAND(a, q)\nz = XOR(n, b)\n")
+	u := faults.StuckAll(c)
+	vs := vectors.Random(c, 60, 9)
+	for fi := range u.Faults {
+		f := &u.Faults[fi]
+		ts := New(c)
+		if err := ts.InjectFault(f); err != nil {
+			t.Fatal(err)
+		}
+		ref := newSerialRef(c, f)
+		for cyc, vec := range vs.Vecs {
+			if ok, err := ts.ApplyVector(vec, 10000); err != nil || !ok {
+				t.Fatalf("fault %s cycle %d: settle failed", f.Name(c), cyc)
+			}
+			want := ref.cycle(vec)
+			got := ts.Outputs()
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("fault %s cycle %d PO %d: timing %v, serial %v",
+						f.Name(c), cyc, i, got[i], want[i])
+				}
+			}
+			ts.LatchFFs()
+			ts.Settle(10000)
+		}
+	}
+}
+
+// serialRef is a minimal copy of the serial machine semantics for
+// cross-checking (stuck-at only).
+type serialRef struct {
+	c   *netlist.Circuit
+	f   *faults.Fault
+	val []logic.V
+}
+
+func newSerialRef(c *netlist.Circuit, f *faults.Fault) *serialRef {
+	r := &serialRef{c: c, f: f, val: make([]logic.V, len(c.Gates))}
+	for i := range r.val {
+		r.val[i] = logic.X
+	}
+	if f.Pin == faults.OutPin {
+		r.val[f.Gate] = f.Kind.StuckValue()
+	}
+	return r
+}
+
+func (r *serialRef) cycle(vec []logic.V) []logic.V {
+	force := func(g netlist.GateID, pin int, v logic.V) logic.V {
+		if r.f.Gate == g && r.f.Pin == pin {
+			return r.f.Kind.StuckValue()
+		}
+		return v
+	}
+	for i, pi := range r.c.PIs {
+		r.val[pi] = force(pi, faults.OutPin, vec[i])
+	}
+	var in [logic.MaxPins]logic.V
+	for _, lv := range r.c.Levels {
+		for _, id := range lv {
+			g := r.c.Gate(id)
+			for j, fi := range g.Fanin {
+				in[j] = force(id, j, r.val[fi])
+			}
+			r.val[id] = force(id, faults.OutPin, logic.Eval(g.Op, in[:len(g.Fanin)]))
+		}
+	}
+	out := make([]logic.V, len(r.c.POs))
+	for i, po := range r.c.POs {
+		out[i] = r.val[po]
+	}
+	next := make([]logic.V, len(r.c.DFFs))
+	for i, ff := range r.c.DFFs {
+		next[i] = force(ff, 0, r.val[r.c.Gate(ff).Fanin[0]])
+	}
+	for i, ff := range r.c.DFFs {
+		r.val[ff] = force(ff, faults.OutPin, next[i])
+	}
+	return out
+}
+
+func TestDelayValidation(t *testing.T) {
+	c := mustParse(t, "b", "INPUT(a)\nOUTPUT(z)\nz = BUFF(a)\n")
+	if _, err := NewWithDelays(c, []int32{0}); err == nil {
+		t.Error("wrong delay-slice length accepted")
+	}
+	bad := make([]int32, len(c.Gates))
+	if _, err := NewWithDelays(c, bad); err == nil {
+		t.Error("zero gate delay accepted")
+	}
+	bad[c.MustByName("z")] = WheelSize
+	if _, err := NewWithDelays(c, bad); err == nil {
+		t.Error("delay >= WheelSize accepted")
+	}
+}
+
+func TestSetSourceRejectsGate(t *testing.T) {
+	c := mustParse(t, "b", "INPUT(a)\nOUTPUT(z)\nz = BUFF(a)\n")
+	s := New(c)
+	if err := s.SetSource(c.MustByName("z"), logic.One); err == nil {
+		t.Error("SetSource on a combinational gate accepted")
+	}
+}
+
+func TestInjectRejectsTransition(t *testing.T) {
+	c := mustParse(t, "b", "INPUT(a)\nOUTPUT(z)\nz = BUFF(a)\n")
+	s := New(c)
+	f := &faults.Fault{Gate: c.MustByName("z"), Pin: 0, Kind: faults.STR}
+	if err := s.InjectFault(f); err == nil {
+		t.Error("transition fault injection accepted")
+	}
+}
