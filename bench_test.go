@@ -143,6 +143,35 @@ func BenchmarkTable6(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelScaling measures the fault-partition parallel engine
+// (csim-P) at 1/2/4/8 workers against the single-threaded csim-MV
+// baseline on the two large stand-ins. Each iteration is a full
+// simulation; use -benchtime=1x. Speedup requires real cores: one
+// goroutine per fault partition, one shared good-machine trace.
+func BenchmarkParallelScaling(b *testing.B) {
+	for _, name := range []string{"s5378", "s35932"} {
+		u, vs := deterministic(b, name)
+		b.Run(name+"/csim-MV", func(b *testing.B) {
+			runCell(b, harness.CsimMV, u, vs)
+		})
+		for _, w := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/csim-P/workers=%d", name, w), func(b *testing.B) {
+				var last harness.Measurement
+				for i := 0; i < b.N; i++ {
+					m, err := harness.RunParallel(u, vs, w)
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = m
+				}
+				b.ReportMetric(last.FltCvg(), "cvg%")
+				b.ReportMetric(float64(last.MemBytes)/(1<<20), "structMB")
+				b.ReportMetric(float64(last.Workers), "workers")
+			})
+		}
+	}
+}
+
 // Ablation benches for the design choices DESIGN.md calls out.
 
 // BenchmarkAblationSplit isolates visible/invisible list splitting:

@@ -8,14 +8,16 @@
 // The circuit comes either from an ISCAS-89 style .bench file or from the
 // built-in benchmark suite; vectors from a file (one line of 0/1/X per
 // cycle) or a seeded random generator. The engine is one of the paper's
-// variants (csim, csim-V, csim-M, csim-MV), the PROOFS baseline, or the
-// serial oracle.
+// variants (csim, csim-V, csim-M, csim-MV), the fault-partition parallel
+// engine (csim-P, sharded over -workers goroutines), the PROOFS baseline,
+// or the serial oracle.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/faults"
@@ -33,7 +35,8 @@ func main() {
 		vectorFile  = flag.String("vectors", "", "path to a test vector file")
 		randomN     = flag.Int("random", 0, "generate this many random vectors instead")
 		seed        = flag.Int64("seed", 1, "random vector seed")
-		engine      = flag.String("engine", "csim-MV", "csim | csim-V | csim-M | csim-MV | PROOFS | serial")
+		engine      = flag.String("engine", "csim-MV", "csim | csim-V | csim-M | csim-MV | csim-P | PROOFS | serial")
+		workers     = flag.Int("workers", runtime.NumCPU(), "csim-P fault-partition worker count")
 		model       = flag.String("faults", "stuck", "fault model: stuck | stuck-all | transition")
 		verbose     = flag.Bool("v", false, "list undetected faults")
 	)
@@ -53,7 +56,8 @@ func main() {
 	}
 
 	var m harness.Measurement
-	if *engine == "serial" {
+	switch *engine {
+	case "serial":
 		start := time.Now()
 		res := serial.Simulate(u, vs)
 		m = harness.Measurement{
@@ -62,10 +66,21 @@ func main() {
 			PotOnly: res.NumPotOnly(), Coverage: res.Coverage(),
 			CPU: time.Since(start),
 		}
-	} else {
-		m, err = harness.Run(harness.Engine(*engine), u, vs)
+	case string(harness.CsimP):
+		m, err = harness.RunParallel(u, vs, *workers)
 		if err != nil {
 			fatal(err)
+		}
+	default:
+		switch eng := harness.Engine(*engine); eng {
+		case harness.CsimPlain, harness.CsimV, harness.CsimM, harness.CsimMV,
+			harness.CsimEager, harness.CsimReconv, harness.PROOFS:
+			m, err = harness.Run(eng, u, vs)
+			if err != nil {
+				fatal(err)
+			}
+		default:
+			fatal(fmt.Errorf("unknown engine %q", *engine))
 		}
 	}
 
@@ -73,6 +88,9 @@ func main() {
 	fmt.Printf("circuit:   %s (%d PI, %d PO, %d FF, %d gates)\n",
 		c.Name, st.PIs, st.POs, st.DFFs, st.Gates)
 	fmt.Printf("engine:    %s\n", m.Engine)
+	if m.Workers > 0 {
+		fmt.Printf("workers:   %d\n", m.Workers)
+	}
 	fmt.Printf("faults:    %d (%s)\n", m.Faults, *model)
 	fmt.Printf("patterns:  %d\n", m.Patterns)
 	fmt.Printf("detected:  %d (%.2f%%), potential-only: %d (%.2f%% incl.)\n",

@@ -13,27 +13,26 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/harness"
 )
 
-func main() {
-	var (
-		table = flag.Int("table", 0, "table number (2-6); 0 = all")
-		quick = flag.Bool("quick", false, "restrict to small circuits")
-	)
-	flag.Parse()
+// quickCircuits is the -quick circuit subset shared by tables 2-4 and 6.
+var quickCircuits = []string{"s298", "s344", "s386", "s820", "s1494"}
 
+// emit writes the requested table (0 = all) to w.
+func emit(w io.Writer, table int, quick bool) error {
 	t3 := harness.Table3Circuits
 	t4 := harness.Table4Circuits
 	t6 := harness.Table6Circuits
 	t5ckt := "s35932"
 	t5counts := harness.Table5PatternCounts
-	if *quick {
-		t3 = []string{"s298", "s344", "s386", "s820", "s1494"}
-		t4 = []string{"s298", "s344", "s386", "s820", "s1494"}
-		t6 = t4
+	if quick {
+		t3 = quickCircuits
+		t4 = quickCircuits
+		t6 = quickCircuits
 		t5ckt = "s1494"
 		t5counts = []int{100, 500}
 	}
@@ -50,14 +49,27 @@ func main() {
 		{6, func() (*harness.Table, error) { return harness.Table6(t6) }},
 	}
 	for _, j := range jobs {
-		if *table != 0 && *table != j.n {
+		if table != 0 && table != j.n {
 			continue
 		}
 		t, err := j.run()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "tables: table %d: %v\n", j.n, err)
-			os.Exit(1)
+			return fmt.Errorf("table %d: %w", j.n, err)
 		}
-		fmt.Println(t.String())
+		fmt.Fprintln(w, t.String())
+	}
+	return nil
+}
+
+func main() {
+	var (
+		table = flag.Int("table", 0, "table number (2-6); 0 = all")
+		quick = flag.Bool("quick", false, "restrict to small circuits")
+	)
+	flag.Parse()
+
+	if err := emit(os.Stdout, *table, *quick); err != nil {
+		fmt.Fprintf(os.Stderr, "tables: %v\n", err)
+		os.Exit(1)
 	}
 }

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current output")
+
+// TestTable2QuickGolden pins the `tables -table 2 -quick` output: circuit
+// statistics, fault counts, deterministic pattern counts and coverage are
+// all seeded and platform-independent, so any drift means a refactor
+// changed circuit generation, fault collapsing, ATPG, or the simulator
+// itself. Regenerate deliberately with: go test ./cmd/tables -update
+func TestTable2QuickGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := emit(&buf, 2, true); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "table2_quick.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("table 2 output drifted from golden file.\ngot:\n%s\nwant:\n%s",
+			buf.Bytes(), want)
+	}
+}

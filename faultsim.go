@@ -33,6 +33,7 @@ import (
 	"repro/internal/goodsim"
 	"repro/internal/iscas"
 	"repro/internal/netlist"
+	"repro/internal/parallel"
 	"repro/internal/proofs"
 	"repro/internal/serial"
 	"repro/internal/vectors"
@@ -66,6 +67,9 @@ type (
 type (
 	// Config selects the concurrent simulator variant.
 	Config = csim.Config
+	// ParallelConfig configures the fault-partition parallel engine
+	// (csim-P): a worker count plus the per-partition variant.
+	ParallelConfig = parallel.Options
 	// Simulator is the concurrent fault simulator (the paper's csim).
 	Simulator = csim.Simulator
 	// SimStats instruments a concurrent-simulation run.
@@ -134,6 +138,21 @@ func CsimM() Config { return csim.M() }
 
 // CsimMV enables both improvements — the paper's best configuration.
 func CsimMV() Config { return csim.MV() }
+
+// CsimP configures the fault-partition parallel engine: the csim-MV
+// variant sharded over `workers` goroutines (workers <= 0 means
+// runtime.NumCPU()), each replaying a shared good-machine trace. The
+// merged result is bit-identical to the single-threaded run regardless of
+// worker count.
+func CsimP(workers int) ParallelConfig {
+	return parallel.Options{Workers: workers, Config: csim.MV()}
+}
+
+// SimulateParallel runs the csim-P engine over the whole vector set and
+// returns the merged detections plus merged instrumentation counters.
+func SimulateParallel(u *Universe, vs *Vectors, cfg ParallelConfig) (*Result, SimStats, error) {
+	return parallel.Simulate(u, vs, cfg)
+}
 
 // New builds a concurrent fault simulator over a universe.
 func New(u *Universe, cfg Config) (*Simulator, error) { return csim.New(u, cfg) }

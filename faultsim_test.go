@@ -40,6 +40,18 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 		t.Errorf("csim vs serial:\n%s", d)
 	}
 
+	pres, pstats, err := faultsim.SimulateParallel(u, vs, faultsim.CsimP(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := pres.Diff(oracle); d != "" {
+		t.Errorf("csim-P vs serial:\n%s", d)
+	}
+	if pstats.Detections != pres.NumDet {
+		t.Errorf("csim-P stats report %d detections, result has %d",
+			pstats.Detections, pres.NumDet)
+	}
+
 	tu := faultsim.TransitionFaults(c)
 	tsim, err := faultsim.New(tu, faultsim.CsimV())
 	if err != nil {

@@ -25,8 +25,10 @@ package csim
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/faults"
+	"repro/internal/goodsim"
 	"repro/internal/logic"
 	"repro/internal/macro"
 	"repro/internal/netlist"
@@ -101,12 +103,36 @@ const elemSize = 16
 type Stats struct {
 	Evals      int   // faulty-machine gate evaluations
 	Skips      int   // merged machines skipped without re-evaluation
-	GoodEvals  int   // good-machine gate evaluations
+	GoodEvals  int   // good-machine value refreshes (evaluations or trace replays)
 	PeakElems  int   // high-water mark of live fault elements
 	CurElems   int   // live fault elements now
 	Macros     int   // macro count of the plan in use
 	MemBytes   int64 // accounted fault-element memory at peak
 	Detections int
+}
+
+// MergeStats combines per-partition counters into run totals. Every
+// partition owns a disjoint element arena and a disjoint fault subset, so
+// the additive counters (Evals, Skips, GoodEvals, Detections, CurElems)
+// and the memory accounting (PeakElems, MemBytes) all sum — the run's peak
+// fault-structure footprint is the sum of per-partition peaks, never a
+// last-writer-wins value. Macros describes the (identical) per-partition
+// plan, so the maximum is kept rather than summed.
+func MergeStats(parts ...Stats) Stats {
+	var out Stats
+	for _, p := range parts {
+		out.Evals += p.Evals
+		out.Skips += p.Skips
+		out.GoodEvals += p.GoodEvals
+		out.PeakElems += p.PeakElems
+		out.CurElems += p.CurElems
+		out.MemBytes += p.MemBytes
+		out.Detections += p.Detections
+		if p.Macros > out.Macros {
+			out.Macros = p.Macros
+		}
+	}
+	return out
 }
 
 // Simulator is a concurrent fault simulator over one fault universe.
@@ -119,6 +145,11 @@ type Simulator struct {
 
 	sentinel int32 // fault ID of the terminal element (= len(u.Faults))
 	dropped  []bool
+
+	// goodTrace, when non-nil, supplies prerecorded good-machine values:
+	// evalRoot looks the settled root value up instead of evaluating the
+	// macro's good function (the replay hook behind csim-P).
+	goodTrace *goodsim.Trace
 
 	goodVal  []logic.V    // per gate; meaningful for sources and roots
 	goodWord []logic.Word // per root: packed good leaf values + output
@@ -171,6 +202,34 @@ type pendingElem struct {
 // New builds a simulator for the universe's circuit. The universe may be
 // stuck-at, transition, or mixed.
 func New(u *faults.Universe, cfg Config) (*Simulator, error) {
+	return newSim(u, cfg, nil)
+}
+
+// NewPartition builds a simulator restricted to the subset of u's faults
+// whose IDs are listed in ids. Only subset faults are injected, tracked
+// and detected; results are still reported against the full universe
+// (global fault IDs), so per-partition results from disjoint subsets can
+// be combined with faults.MergeResults. Concurrent fault simulation
+// evolves each faulty machine independently of every other, so a
+// partitioned run detects exactly the faults the full run would.
+func NewPartition(u *faults.Universe, cfg Config, ids []int32) (*Simulator, error) {
+	sub := make([]int32, len(ids))
+	copy(sub, ids)
+	sort.Slice(sub, func(i, j int) bool { return sub[i] < sub[j] })
+	for i, id := range sub {
+		if id < 0 || int(id) >= len(u.Faults) {
+			return nil, fmt.Errorf("csim: partition fault ID %d outside universe of %d", id, len(u.Faults))
+		}
+		if i > 0 && sub[i-1] == id {
+			return nil, fmt.Errorf("csim: duplicate fault ID %d in partition", id)
+		}
+	}
+	return newSim(u, cfg, sub)
+}
+
+// newSim builds the simulator; ids, when non-nil, restricts the simulated
+// faults to that sorted subset of the universe.
+func newSim(u *faults.Universe, cfg Config, ids []int32) (*Simulator, error) {
 	c := u.Circuit
 	if cfg.MacroMaxInputs == 0 {
 		cfg.MacroMaxInputs = macro.DefaultMaxInputs
@@ -224,10 +283,11 @@ func New(u *faults.Universe, cfg Config) (*Simulator, error) {
 	s.dffEvent = make([]bool, len(c.DFFs))
 
 	// Fault-site ownership: faults on absorbed gates belong to their
-	// macro's root.
+	// macro's root. A partition-restricted simulator sites only its own
+	// subset; ids is sorted, so per-gate locals stay sorted.
 	anyTransition := false
-	for i := range u.Faults {
-		f := &u.Faults[i]
+	site := func(id int32) {
+		f := &u.Faults[id]
 		owner := f.Gate
 		if !c.Gate(f.Gate).IsSource() {
 			owner = plan.Owner[f.Gate]
@@ -235,6 +295,15 @@ func New(u *faults.Universe, cfg Config) (*Simulator, error) {
 		s.locals[owner] = append(s.locals[owner], f.ID)
 		if !f.Kind.Stuck() {
 			anyTransition = true
+		}
+	}
+	if ids == nil {
+		for i := range u.Faults {
+			site(int32(i))
+		}
+	} else {
+		for _, id := range ids {
+			site(id)
 		}
 	}
 	if anyTransition {
@@ -295,6 +364,25 @@ func (s *Simulator) Stats() Stats {
 
 // Plan exposes the macro plan (inspection/tests).
 func (s *Simulator) Plan() *macro.Plan { return s.plan }
+
+// SetGoodTrace attaches a prerecorded good-machine trace: the simulator
+// replays settled good values from the trace instead of evaluating macro
+// good functions, so the good machine is derived once per vector set no
+// matter how many partitions replay it. The trace must come from a
+// goodsim.Record of the same circuit over the same vector sequence that
+// will be simulated (recording more cycles than are run is fine). Must be
+// called before the first Cycle.
+func (s *Simulator) SetGoodTrace(tr *goodsim.Trace) error {
+	if tr.NumGates() != len(s.c.Gates) {
+		return fmt.Errorf("csim: good trace covers %d gates, circuit has %d",
+			tr.NumGates(), len(s.c.Gates))
+	}
+	if !s.firstCycle || s.vecIndex != 0 {
+		return fmt.Errorf("csim: good trace must be attached before simulation starts")
+	}
+	s.goodTrace = tr
+	return nil
+}
 
 // GoodVal returns the good-machine value of a source or macro-root gate.
 func (s *Simulator) GoodVal(g netlist.GateID) logic.V { return s.goodVal[g] }

@@ -1,6 +1,8 @@
 package csim
 
 import (
+	"fmt"
+
 	"repro/internal/faults"
 	"repro/internal/logic"
 )
@@ -9,6 +11,10 @@ import (
 // combinational network, look for detections at the primary outputs, then
 // clock the flip-flops (good machine and every faulty machine together).
 func (s *Simulator) Cycle(vec []logic.V) {
+	if s.goodTrace != nil && s.vecIndex >= s.goodTrace.Cycles() {
+		panic(fmt.Sprintf("csim: vector %d beyond the recorded good trace (%d cycles)",
+			s.vecIndex, s.goodTrace.Cycles()))
+	}
 	// Re-arm macros whose transition faults fired a delayed edge last
 	// cycle: their elements must be re-examined even without new events.
 	for _, r := range s.retrig {

@@ -271,3 +271,49 @@ func TestCoverageEmptyUniverse(t *testing.T) {
 		t.Error("empty universe coverage not 0")
 	}
 }
+
+// TestMergeResults: union of detections, min first-detecting vector on
+// overlap, union of potential detections — all independent of argument
+// order.
+func TestMergeResults(t *testing.T) {
+	c := s27(t)
+	u := StuckCollapsed(c)
+	if u.NumFaults() < 4 {
+		t.Fatalf("need at least 4 faults, have %d", u.NumFaults())
+	}
+	a := NewResult(u)
+	a.Detect(0, 5)
+	a.Detect(1, 2)
+	a.PotDetect(3)
+	b := NewResult(u)
+	b.Detect(0, 3) // earlier than a's vector 5: the merge must keep 3
+	b.Detect(2, 7)
+	b.PotDetect(1)
+
+	check := func(m *Result) {
+		t.Helper()
+		if m.NumDet != 3 {
+			t.Errorf("merged NumDet = %d, want 3", m.NumDet)
+		}
+		wantAt := map[int32]int32{0: 3, 1: 2, 2: 7}
+		for id, at := range wantAt {
+			if !m.Detected[id] || m.DetectedAt[id] != at {
+				t.Errorf("fault %d: detected=%v at %d, want at %d",
+					id, m.Detected[id], m.DetectedAt[id], at)
+			}
+		}
+		if !m.PotDetected[1] || !m.PotDetected[3] {
+			t.Errorf("potential detections not unioned: %v", m.PotDetected)
+		}
+	}
+	check(MergeResults(a, b))
+	check(MergeResults(b, a))
+
+	defer func() {
+		if recover() == nil {
+			t.Error("merging results over different universe sizes did not panic")
+		}
+	}()
+	tiny := NewResult(&Universe{Circuit: c, Faults: u.Faults[:1]})
+	MergeResults(a, tiny)
+}

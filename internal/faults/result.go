@@ -86,6 +86,41 @@ func (r *Result) DetectedSet() []int32 {
 	return out
 }
 
+// MergeResults combines per-partition results over the same universe into
+// a single result. Detections and potential detections are unioned; if
+// several parts detected the same fault, the smallest detecting vector
+// index wins, so the merge is deterministic regardless of partition
+// count, partition order, or goroutine scheduling. All parts must cover
+// universes of identical size (normally the same Universe).
+func MergeResults(parts ...*Result) *Result {
+	if len(parts) == 0 {
+		panic("faults: MergeResults needs at least one result")
+	}
+	out := NewResult(parts[0].Universe)
+	for _, p := range parts {
+		if len(p.Detected) != len(out.Detected) {
+			panic(fmt.Sprintf("faults: merging results over universes of %d and %d faults",
+				len(out.Detected), len(p.Detected)))
+		}
+		for i := range p.Detected {
+			if p.PotDetected[i] {
+				out.PotDetected[i] = true
+			}
+			if !p.Detected[i] {
+				continue
+			}
+			if !out.Detected[i] {
+				out.Detected[i] = true
+				out.DetectedAt[i] = p.DetectedAt[i]
+				out.NumDet++
+			} else if p.DetectedAt[i] < out.DetectedAt[i] {
+				out.DetectedAt[i] = p.DetectedAt[i]
+			}
+		}
+	}
+	return out
+}
+
 // Diff returns a human-readable description of the first few disagreements
 // between two results over the same universe, for cross-validation tests.
 func (r *Result) Diff(other *Result) string {

@@ -174,3 +174,44 @@ func Run(c *netlist.Circuit, vecs [][]logic.V) [][]logic.V {
 	}
 	return out
 }
+
+// Trace is a read-only record of the good machine's settled value at every
+// gate on every cycle: At(t, g) is gate g's output after the combinational
+// network settled under vector t, before the clock edge. Concurrent fault
+// simulators replay good values from a shared Trace instead of each
+// re-deriving the good machine, so one goodsim run serves any number of
+// fault partitions. A Trace is immutable after Record and safe for
+// concurrent readers.
+type Trace struct {
+	numGates int
+	cycles   int
+	vals     []logic.V // cycles × numGates, row-major by cycle
+}
+
+// NumGates returns the gate count of the recorded circuit.
+func (tr *Trace) NumGates() int { return tr.numGates }
+
+// Cycles returns the number of recorded clock cycles.
+func (tr *Trace) Cycles() int { return tr.cycles }
+
+// At returns gate g's settled value on the given cycle.
+func (tr *Trace) At(cycle int, g netlist.GateID) logic.V {
+	return tr.vals[cycle*tr.numGates+int(g)]
+}
+
+// Record simulates the whole vector sequence once from the all-X state and
+// captures every gate's settled value each cycle.
+func Record(c *netlist.Circuit, vecs [][]logic.V) *Trace {
+	s := New(c)
+	tr := &Trace{
+		numGates: len(c.Gates),
+		cycles:   len(vecs),
+		vals:     make([]logic.V, len(c.Gates)*len(vecs)),
+	}
+	for t, v := range vecs {
+		s.Apply(v)
+		copy(tr.vals[t*tr.numGates:(t+1)*tr.numGates], s.val)
+		s.Clock()
+	}
+	return tr
+}

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/csim"
 	"repro/internal/faults"
+	"repro/internal/parallel"
 	"repro/internal/proofs"
 	"repro/internal/vectors"
 )
@@ -28,7 +29,10 @@ const (
 	CsimEager Engine = "csim-MV-eagerdrop"
 	// CsimReconv uses the paper's reconvergent-macro extension.
 	CsimReconv Engine = "csim-MV-reconvergent"
-	PROOFS     Engine = "PROOFS"
+	// CsimP is the fault-partition parallel engine: csim-MV sharded over
+	// worker goroutines replaying a shared good-machine trace.
+	CsimP  Engine = "csim-P"
+	PROOFS Engine = "PROOFS"
 )
 
 // Config returns the csim configuration for a csim engine.
@@ -64,6 +68,7 @@ type Measurement struct {
 	Coverage float64
 	CPU      time.Duration
 	MemBytes int64 // accounted fault-structure memory at peak
+	Workers  int   // goroutine count (csim-P only; 0 otherwise)
 }
 
 // FltCvg returns hard coverage in percent.
@@ -80,6 +85,8 @@ func Run(engine Engine, u *faults.Universe, vs *vectors.Set) (Measurement, error
 	start := time.Now()
 	var res *faults.Result
 	switch engine {
+	case CsimP:
+		return RunParallel(u, vs, 0)
 	case PROOFS:
 		sim, err := proofs.New(u)
 		if err != nil {
@@ -96,6 +103,33 @@ func Run(engine Engine, u *faults.Universe, vs *vectors.Set) (Measurement, error
 		m.MemBytes = sim.Stats().MemBytes
 	}
 	m.CPU = time.Since(start)
+	m.Detected = res.NumDet
+	m.PotOnly = res.NumPotOnly()
+	m.Coverage = res.Coverage()
+	return m, nil
+}
+
+// RunParallel measures the fault-partition parallel engine: the csim-MV
+// variant sharded over the given number of worker goroutines (<= 0 means
+// runtime.NumCPU(), always clamped to the universe size), replaying one
+// shared good-machine trace. Measurement.Workers records the effective
+// partition count.
+func RunParallel(u *faults.Universe, vs *vectors.Set, workers int) (Measurement, error) {
+	opt := parallel.Options{Workers: workers, Config: csim.MV()}
+	m := Measurement{
+		Engine:   CsimP,
+		Circuit:  u.Circuit.Name,
+		Patterns: vs.Len(),
+		Faults:   u.NumFaults(),
+		Workers:  opt.EffectiveWorkers(u.NumFaults()),
+	}
+	start := time.Now()
+	res, st, err := parallel.Simulate(u, vs, opt)
+	if err != nil {
+		return m, err
+	}
+	m.CPU = time.Since(start)
+	m.MemBytes = st.MemBytes
 	m.Detected = res.NumDet
 	m.PotOnly = res.NumPotOnly()
 	m.Coverage = res.Coverage()

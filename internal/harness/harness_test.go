@@ -17,7 +17,7 @@ func TestRunEnginesAgree(t *testing.T) {
 		t.Fatal(err)
 	}
 	var detected = -1
-	for _, eng := range []Engine{CsimPlain, CsimV, CsimM, CsimMV, CsimEager, PROOFS} {
+	for _, eng := range []Engine{CsimPlain, CsimV, CsimM, CsimMV, CsimEager, CsimP, PROOFS} {
 		m, err := Run(eng, u, vs)
 		if err != nil {
 			t.Fatalf("%s: %v", eng, err)
@@ -147,5 +147,42 @@ func TestUnknownCircuit(t *testing.T) {
 	}
 	if _, err := TransitionUniverse("nope"); err == nil {
 		t.Error("unknown circuit accepted")
+	}
+}
+
+func TestRunParallelWorkerSweep(t *testing.T) {
+	u, err := StuckUniverse("s298")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs, err := RandomSet("s298", 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Run(CsimMV, u, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 5} {
+		m, err := RunParallel(u, vs, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Workers != w || m.Engine != CsimP {
+			t.Errorf("workers=%d: measurement metadata wrong: %+v", w, m)
+		}
+		if m.Detected != base.Detected || m.PotOnly != base.PotOnly {
+			t.Errorf("workers=%d: detected %d/%d pot, csim-MV %d/%d",
+				w, m.Detected, m.PotOnly, base.Detected, base.PotOnly)
+		}
+	}
+	// An absurd request is clamped; Workers records the effective count.
+	m, err := RunParallel(u, vs, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Workers != u.NumFaults() {
+		t.Errorf("workers=10000: effective %d, want clamp to %d faults",
+			m.Workers, u.NumFaults())
 	}
 }

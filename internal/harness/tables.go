@@ -64,14 +64,16 @@ func Table2(circuits []string) (*Table, error) {
 }
 
 // Table3 reproduces the deterministic-patterns comparison of csim-V,
-// csim-M, csim-MV and PROOFS (CPU seconds and memory).
+// csim-M, csim-MV and PROOFS (CPU seconds and memory), extended with a
+// csim-P column: the fault-partition parallel engine at NumCPU workers.
 func Table3(circuits []string) (*Table, error) {
 	t := &Table{
 		Title: "Table 3. Deterministic patterns (I)",
 		Header: []string{"ckt",
 			"V:CPU", "V:MEM", "M:CPU", "M:MEM", "MV:CPU", "MV:MEM",
-			"PROOFS:CPU", "PROOFS:MEM"},
-		Caption: "CPU in seconds, MEM in MB of fault-structure storage at peak",
+			"P:CPU", "P:MEM", "PROOFS:CPU", "PROOFS:MEM"},
+		Caption: "CPU in seconds, MEM in MB of fault-structure storage at peak\n" +
+			"csim-P: csim-MV fault-partitioned over NumCPU worker goroutines",
 	}
 	for _, name := range circuits {
 		u, err := StuckUniverse(name)
@@ -83,7 +85,7 @@ func Table3(circuits []string) (*Table, error) {
 			return nil, err
 		}
 		row := []string{name}
-		for _, eng := range []Engine{CsimV, CsimM, CsimMV, PROOFS} {
+		for _, eng := range []Engine{CsimV, CsimM, CsimMV, CsimP, PROOFS} {
 			m, err := Run(eng, u, vs)
 			if err != nil {
 				return nil, err

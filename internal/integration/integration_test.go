@@ -7,6 +7,7 @@ package integration
 
 import (
 	"fmt"
+	"reflect"
 	"testing"
 
 	"repro/internal/csim"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/logic"
 	"repro/internal/netlist"
+	"repro/internal/parallel"
 	"repro/internal/proofs"
 	"repro/internal/serial"
 	"repro/internal/vectors"
@@ -88,6 +90,99 @@ func TestRandomCircuitsAllEnginesAgree(t *testing.T) {
 				t.Fatal(err)
 			}
 			compare(t, c.Name+"/PROOFS", oracle, pr.Run(vs))
+		}
+	}
+}
+
+// TestParallelAgreesWithOracle is the csim-P differential property test:
+// on seeded generated circuits and random vectors, the parallel engine's
+// detected-fault sets at several worker counts (including a
+// non-power-of-two) must equal both the serial oracle and single-threaded
+// csim-MV — detections, first-detection vectors and potential detections.
+func TestParallelAgreesWithOracle(t *testing.T) {
+	shapes := []struct{ pis, pos, ffs, gates int }{
+		{3, 3, 4, 30},   // small sequential
+		{5, 4, 8, 80},   // medium
+		{8, 6, 12, 150}, // larger, reconvergent
+	}
+	for si, shape := range shapes {
+		for seed := int64(1); seed <= 2; seed++ {
+			c := genCircuit(t, seed*700+int64(si), shape.pis, shape.pos, shape.ffs, shape.gates)
+			u := faults.StuckCollapsed(c)
+			vs := vectors.Random(c, 80, seed)
+			oracle := serial.Simulate(u, vs)
+			single, err := csim.New(u, csim.MV())
+			if err != nil {
+				t.Fatal(err)
+			}
+			mv := single.Run(vs)
+			compare(t, c.Name+"/csim-MV", oracle, mv)
+			for _, w := range []int{1, 2, 4, 7} {
+				res, _, err := parallel.Simulate(u, vs,
+					parallel.Options{Workers: w, Config: csim.MV()})
+				if err != nil {
+					t.Fatal(err)
+				}
+				compare(t, fmt.Sprintf("%s/csim-P.w%d-vs-oracle", c.Name, w), oracle, res)
+				compare(t, fmt.Sprintf("%s/csim-P.w%d-vs-MV", c.Name, w), mv, res)
+			}
+		}
+	}
+}
+
+// TestParallelTransitionAgreesWithOracle repeats the differential test on
+// the transition-fault model, where per-fault previous-cycle driver state
+// must survive partitioning.
+func TestParallelTransitionAgreesWithOracle(t *testing.T) {
+	for seed := int64(1); seed <= 2; seed++ {
+		c := genCircuit(t, 1700+seed, 4, 3, 6, 60)
+		u := faults.Transition(c)
+		vs := vectors.Random(c, 100, seed)
+		oracle := serial.Simulate(u, vs)
+		for _, w := range []int{2, 7} {
+			res, _, err := parallel.Simulate(u, vs,
+				parallel.Options{Workers: w, Config: csim.MV()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			compare(t, fmt.Sprintf("%s/csim-P.w%d", c.Name, w), oracle, res)
+		}
+	}
+}
+
+// TestParallelDeterministic guards the merge against ordering races: runs
+// at different worker counts (and repeated runs at the same count) must
+// produce byte-identical merged results — same detected set, same
+// first-detecting vector per fault, same potential detections.
+func TestParallelDeterministic(t *testing.T) {
+	c := genCircuit(t, 3131, 6, 5, 9, 110)
+	u := faults.StuckCollapsed(c)
+	vs := vectors.Random(c, 150, 23)
+	var ref *faults.Result
+	for _, w := range []int{1, 3, 5, 8} {
+		for rep := 0; rep < 2; rep++ {
+			res, _, err := parallel.Simulate(u, vs,
+				parallel.Options{Workers: w, Config: csim.MV()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref == nil {
+				ref = res
+				continue
+			}
+			tag := fmt.Sprintf("workers=%d rep=%d", w, rep)
+			if !reflect.DeepEqual(ref.Detected, res.Detected) {
+				t.Fatalf("%s: detected set differs from first run", tag)
+			}
+			if !reflect.DeepEqual(ref.DetectedAt, res.DetectedAt) {
+				t.Fatalf("%s: first-detection vectors differ from first run", tag)
+			}
+			if !reflect.DeepEqual(ref.PotDetected, res.PotDetected) {
+				t.Fatalf("%s: potential detections differ from first run", tag)
+			}
+			if ref.NumDet != res.NumDet {
+				t.Fatalf("%s: NumDet %d, first run %d", tag, res.NumDet, ref.NumDet)
+			}
 		}
 	}
 }

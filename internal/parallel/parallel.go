@@ -1,0 +1,114 @@
+// Package parallel is the fault-partition parallel concurrent fault
+// simulator, csim-P. Concurrent fault simulation evolves every faulty
+// machine independently against the one good machine, so the fault
+// universe shards cleanly: the good machine is simulated once per vector
+// set and its per-cycle settled state recorded (goodsim.Record); the
+// collapsed fault universe is dealt into K disjoint partitions, balanced
+// by fault-site level; one independent csim.Simulator per partition runs
+// on its own goroutine, replaying good values from the shared read-only
+// trace instead of re-deriving the good machine; and the per-partition
+// results merge deterministically (min detecting-vector index wins), so
+// the output is bit-identical to the single-threaded run regardless of
+// worker count or goroutine scheduling.
+package parallel
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/csim"
+	"repro/internal/faults"
+	"repro/internal/goodsim"
+	"repro/internal/vectors"
+)
+
+// Options configures a csim-P run.
+type Options struct {
+	// Workers is the partition/goroutine count; <= 0 means
+	// runtime.NumCPU(). It is clamped to the universe size.
+	Workers int
+	// Config is the per-partition simulator variant (typically csim.MV()).
+	Config csim.Config
+}
+
+// EffectiveWorkers reports the partition count Simulate will actually use
+// for a universe of n faults, after defaulting and clamping.
+func (o Options) EffectiveWorkers(n int) int { return o.workers(n) }
+
+func (o Options) workers(n int) int {
+	k := o.Workers
+	if k <= 0 {
+		k = runtime.NumCPU()
+	}
+	if k > n {
+		k = n
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// Partition shards the universe's fault IDs into k disjoint, jointly
+// exhaustive groups. Faults are ordered by site level (ties broken by ID)
+// and dealt round-robin, so every partition receives a similar mix of
+// shallow and deep fault sites — simulation cost tracks fault activity,
+// not fault count, and activity correlates with site depth.
+func Partition(u *faults.Universe, k int) [][]int32 {
+	order := make([]int32, len(u.Faults))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	c := u.Circuit
+	level := func(id int32) int32 { return c.Gate(u.Faults[id].Gate).Level }
+	sort.SliceStable(order, func(i, j int) bool {
+		li, lj := level(order[i]), level(order[j])
+		if li != lj {
+			return li < lj
+		}
+		return order[i] < order[j]
+	})
+	parts := make([][]int32, k)
+	for i, id := range order {
+		parts[i%k] = append(parts[i%k], id)
+	}
+	return parts
+}
+
+// Simulate runs csim-P over the whole vector set and returns the merged
+// detections along with the merged per-partition stats.
+func Simulate(u *faults.Universe, vs *vectors.Set, opt Options) (*faults.Result, csim.Stats, error) {
+	k := opt.workers(u.NumFaults())
+	trace := goodsim.Record(u.Circuit, vs.Vecs)
+	parts := Partition(u, k)
+
+	results := make([]*faults.Result, k)
+	stats := make([]csim.Stats, k)
+	errs := make([]error, k)
+	var wg sync.WaitGroup
+	for i := range parts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sim, err := csim.NewPartition(u, opt.Config, parts[i])
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if err := sim.SetGoodTrace(trace); err != nil {
+				errs[i] = err
+				return
+			}
+			results[i] = sim.Run(vs)
+			stats[i] = sim.Stats()
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, csim.Stats{}, err
+		}
+	}
+	return faults.MergeResults(results...), csim.MergeStats(stats...), nil
+}

@@ -1,0 +1,197 @@
+package parallel
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/csim"
+	"repro/internal/faults"
+	"repro/internal/gen"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/vectors"
+)
+
+func testCircuit(t *testing.T, seed int64, pis, pos, ffs, gates int) *netlist.Circuit {
+	t.Helper()
+	c, err := gen.Generate(gen.Spec{
+		Name: fmt.Sprintf("par%d", seed),
+		PIs:  pis, POs: pos, DFFs: ffs, Gates: gates, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestPartitionDisjointExhaustive: every fault lands in exactly one
+// partition and sizes differ by at most one.
+func TestPartitionDisjointExhaustive(t *testing.T) {
+	c := testCircuit(t, 7, 5, 4, 6, 90)
+	u := faults.StuckCollapsed(c)
+	for _, k := range []int{1, 2, 3, 7, 16} {
+		parts := Partition(u, k)
+		if len(parts) != k {
+			t.Fatalf("k=%d: got %d partitions", k, len(parts))
+		}
+		seen := make([]int, u.NumFaults())
+		lo, hi := u.NumFaults(), 0
+		for _, p := range parts {
+			if len(p) < lo {
+				lo = len(p)
+			}
+			if len(p) > hi {
+				hi = len(p)
+			}
+			for _, id := range p {
+				seen[id]++
+			}
+		}
+		for id, n := range seen {
+			if n != 1 {
+				t.Fatalf("k=%d: fault %d appears in %d partitions", k, id, n)
+			}
+		}
+		if hi-lo > 1 {
+			t.Errorf("k=%d: partition sizes unbalanced: min %d max %d", k, lo, hi)
+		}
+	}
+}
+
+// TestMatchesSingleThreaded: csim-P at several worker counts must produce
+// a Result byte-identical to the single-threaded csim run of the same
+// configuration.
+func TestMatchesSingleThreaded(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		c := testCircuit(t, seed, 4, 4, 6, 70)
+		u := faults.StuckCollapsed(c)
+		vs := vectors.Random(c, 120, seed)
+		single, err := csim.New(u, csim.MV())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := single.Run(vs)
+		for _, w := range []int{1, 2, 4, 7} {
+			got, _, err := Simulate(u, vs, Options{Workers: w, Config: csim.MV()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tag := fmt.Sprintf("seed %d workers %d", seed, w)
+			if d := want.Diff(got); d != "" {
+				t.Errorf("%s: detections differ:\n%s", tag, d)
+			}
+			if !reflect.DeepEqual(want.DetectedAt, got.DetectedAt) {
+				t.Errorf("%s: first-detection indices differ", tag)
+			}
+			if !reflect.DeepEqual(want.PotDetected, got.PotDetected) {
+				t.Errorf("%s: potential detections differ", tag)
+			}
+		}
+	}
+}
+
+// TestTransitionMatchesSingleThreaded covers the transition-fault model:
+// partitioned replay must keep per-fault previous-cycle driver state
+// exactly as the single-threaded run does.
+func TestTransitionMatchesSingleThreaded(t *testing.T) {
+	c := testCircuit(t, 11, 4, 3, 5, 60)
+	u := faults.Transition(c)
+	vs := vectors.Random(c, 100, 3)
+	single, err := csim.New(u, csim.MV())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := single.Run(vs)
+	for _, w := range []int{2, 5} {
+		got, _, err := Simulate(u, vs, Options{Workers: w, Config: csim.MV()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := want.Diff(got); d != "" {
+			t.Errorf("workers %d: detections differ:\n%s", w, d)
+		}
+		if !reflect.DeepEqual(want.DetectedAt, got.DetectedAt) {
+			t.Errorf("workers %d: first-detection indices differ", w)
+		}
+	}
+}
+
+// TestWorkerCountClamped: more workers than faults must not break the
+// partitioning (no empty-universe goroutines beyond the fault count).
+func TestWorkerCountClamped(t *testing.T) {
+	b := netlist.NewBuilder("tiny")
+	b.Input("a")
+	b.Gate("z", logic.OpNot, "a")
+	b.Output("z")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := faults.StuckCollapsed(c)
+	vs := vectors.Random(c, 10, 1)
+	res, _, err := Simulate(u, vs, Options{Workers: 64, Config: csim.MV()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := csim.New(u, csim.MV())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := single.Run(vs).Diff(res); d != "" {
+		t.Errorf("clamped run diverged:\n%s", d)
+	}
+}
+
+// TestStatsWorkersOneMatchSingle: a one-partition csim-P run performs
+// exactly the single-threaded run's work, so every merged counter must
+// match the single-threaded totals field for field.
+func TestStatsWorkersOneMatchSingle(t *testing.T) {
+	c := testCircuit(t, 21, 5, 4, 8, 100)
+	u := faults.StuckCollapsed(c)
+	vs := vectors.Random(c, 150, 9)
+	single, err := csim.New(u, csim.MV())
+	if err != nil {
+		t.Fatal(err)
+	}
+	single.Run(vs)
+	_, merged, err := Simulate(u, vs, Options{Workers: 1, Config: csim.MV()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := merged, single.Stats(); got != want {
+		t.Errorf("workers=1 stats = %+v, single-threaded %+v", got, want)
+	}
+}
+
+// TestStatsPartitionInvariants: counters that are per-fault properties
+// must sum across partitions to the single-threaded totals, whatever the
+// worker count. Detections are exactly invariant; element counts are not
+// (dropped faults' elements are reclaimed lazily, so end-of-run residue
+// depends on which traversals ran), but the summed peak can never fall
+// below the single-threaded peak.
+func TestStatsPartitionInvariants(t *testing.T) {
+	c := testCircuit(t, 33, 5, 4, 8, 100)
+	u := faults.StuckCollapsed(c)
+	vs := vectors.Random(c, 150, 9)
+	single, err := csim.New(u, csim.MV())
+	if err != nil {
+		t.Fatal(err)
+	}
+	single.Run(vs)
+	want := single.Stats()
+	for _, w := range []int{2, 4, 7} {
+		_, merged, err := Simulate(u, vs, Options{Workers: w, Config: csim.MV()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if merged.Detections != want.Detections {
+			t.Errorf("workers=%d: merged detections %d, single-threaded %d",
+				w, merged.Detections, want.Detections)
+		}
+		if merged.PeakElems < want.PeakElems {
+			t.Errorf("workers=%d: summed peaks %d below single-threaded peak %d",
+				w, merged.PeakElems, want.PeakElems)
+		}
+	}
+}
