@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/faults"
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/vectors"
 )
 
@@ -170,6 +171,38 @@ func BenchmarkParallelScaling(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkCsimMV pins the flagship engine's hot path against the
+// observability layer. The disabled case is the regression gate: with no
+// observer every probe sits on the nil fast path, so it must cost the
+// same as the engine did before the layer existed (the obs package's own
+// alloc tests prove the per-op cost is 0 allocs). The observed case
+// bounds what full metrics + phase tracing + fault-lifecycle recording
+// adds when switched on.
+func BenchmarkCsimMV(b *testing.B) {
+	u, vs := deterministic(b, "s1238")
+	b.Run("disabled", func(b *testing.B) {
+		runCell(b, harness.CsimMV, u, vs)
+	})
+	b.Run("observed", func(b *testing.B) {
+		var last harness.Measurement
+		for i := 0; i < b.N; i++ {
+			reg := obs.NewRegistry()
+			ob := &obs.Observer{
+				Metrics: reg,
+				Tracer:  obs.NewTracer(reg),
+				Faults:  obs.NewFaultLog(u.NumFaults(), nil, 0),
+			}
+			m, err := harness.RunObserved(harness.CsimMV, u, vs, ob)
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = m
+		}
+		b.ReportMetric(last.FltCvg(), "cvg%")
+		b.ReportMetric(float64(last.MemBytes)/(1<<20), "structMB")
+	})
 }
 
 // Ablation benches for the design choices DESIGN.md calls out.

@@ -11,19 +11,30 @@
 // variants (csim, csim-V, csim-M, csim-MV), the fault-partition parallel
 // engine (csim-P, sharded over -workers goroutines), the PROOFS baseline,
 // or the serial oracle.
+//
+// Observability (see OBSERVABILITY.md): -metrics-out snapshots the metric
+// registry to JSON, -trace-out writes a chrome://tracing phase trace,
+// -trace-faults records per-fault lifecycle events, and -metrics-addr
+// serves expvar + pprof live during (and, with -hold, after) the run.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/faults"
 	"repro/internal/harness"
 	"repro/internal/iscas"
 	"repro/internal/netlist"
+	"repro/internal/obs"
+	"repro/internal/parallel"
 	"repro/internal/serial"
 	"repro/internal/vectors"
 )
@@ -39,10 +50,41 @@ func main() {
 		workers     = flag.Int("workers", runtime.NumCPU(), "csim-P fault-partition worker count")
 		model       = flag.String("faults", "stuck", "fault model: stuck | stuck-all | transition")
 		verbose     = flag.Bool("v", false, "list undetected faults")
+
+		metricsOut  = flag.String("metrics-out", "", "write a metrics registry snapshot (JSON) to this file")
+		traceOut    = flag.String("trace-out", "", "write a chrome://tracing phase trace (JSON) to this file")
+		traceAlloc  = flag.Bool("trace-alloc", false, "sample allocation deltas at phase boundaries (with -trace-out)")
+		traceFaults = flag.String("trace-faults", "", "record fault lifecycle events: 'all', fault IDs (3,17), or fault-name substrings")
+		metricsAddr = flag.String("metrics-addr", "", "serve expvar + pprof + /metricsz on this address (e.g. :6060)")
+		hold        = flag.Bool("hold", false, "with -metrics-addr: keep serving after the run until interrupted")
 	)
 	flag.Parse()
 
+	// Any observability flag switches the layer on; without them every
+	// probe stays on the nil fast path.
+	var ob *obs.Observer
+	var reg *obs.Registry
+	var tr *obs.Tracer
+	if *metricsAddr != "" || *metricsOut != "" || *traceOut != "" || *traceFaults != "" {
+		reg = obs.NewRegistry()
+		tr = obs.NewTracer(reg)
+		tr.AllocDeltas = *traceAlloc
+		ob = &obs.Observer{Metrics: reg, Tracer: tr}
+	}
+
+	if *metricsAddr != "" {
+		obs.PublishExpvar("faultsim", reg)
+		bound, stop, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		defer stop()
+		fmt.Printf("metrics:   serving http://%s/debug/vars (pprof under /debug/pprof/)\n", bound)
+	}
+
+	sp := ob.Span("parse")
 	c, err := loadCircuit(*circuitFile, *suite)
+	sp.End()
 	if err != nil {
 		fatal(err)
 	}
@@ -50,16 +92,33 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	sp = ob.Span("collapse")
 	u, err := universe(c, *model)
+	sp.End()
 	if err != nil {
 		fatal(err)
+	}
+
+	var flog *obs.FaultLog
+	if *traceFaults != "" {
+		ids, err := parseFaultFilter(*traceFaults, u, c)
+		if err != nil {
+			fatal(err)
+		}
+		flog = obs.NewFaultLog(u.NumFaults(), ids, 0)
+		ob.Faults = flog
+		if *engine == string(harness.PROOFS) || *engine == "serial" {
+			fmt.Fprintf(os.Stderr, "csim: warning: -trace-faults records nothing under engine %s (csim engines only)\n", *engine)
+		}
 	}
 
 	var m harness.Measurement
 	switch *engine {
 	case "serial":
 		start := time.Now()
+		ssp := ob.Span("fault-sim")
 		res := serial.Simulate(u, vs)
+		ssp.End()
 		m = harness.Measurement{
 			Engine: "serial", Circuit: c.Name, Patterns: vs.Len(),
 			Faults: u.NumFaults(), Detected: res.NumDet,
@@ -67,7 +126,11 @@ func main() {
 			CPU: time.Since(start),
 		}
 	case string(harness.CsimP):
-		m, err = harness.RunParallel(u, vs, *workers)
+		if eff := (parallel.Options{Workers: *workers}).EffectiveWorkers(u.NumFaults()); *workers > eff {
+			fmt.Fprintf(os.Stderr, "csim: warning: -workers %d exceeds the fault-partition count; running %d workers (one per fault)\n",
+				*workers, eff)
+		}
+		m, err = harness.RunParallelObserved(u, vs, *workers, ob)
 		if err != nil {
 			fatal(err)
 		}
@@ -75,7 +138,7 @@ func main() {
 		switch eng := harness.Engine(*engine); eng {
 		case harness.CsimPlain, harness.CsimV, harness.CsimM, harness.CsimMV,
 			harness.CsimEager, harness.CsimReconv, harness.PROOFS:
-			m, err = harness.Run(eng, u, vs)
+			m, err = harness.RunObserved(eng, u, vs, ob)
 			if err != nil {
 				fatal(err)
 			}
@@ -101,6 +164,22 @@ func main() {
 		fmt.Printf("mem:       %s MB (fault structures, peak)\n", harness.Meg(m.MemBytes))
 	}
 
+	if flog != nil {
+		printFaultEvents(flog, u, c)
+	}
+	if *metricsOut != "" {
+		if err := writeTo(*metricsOut, reg.WriteJSON); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("metrics:   wrote %s\n", *metricsOut)
+	}
+	if *traceOut != "" {
+		if err := writeTo(*traceOut, tr.WriteChrome); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace:     wrote %s (load in chrome://tracing or Perfetto)\n", *traceOut)
+	}
+
 	if *verbose {
 		res := serial.Simulate(u, vs) // authoritative listing
 		fmt.Println("undetected faults:")
@@ -110,6 +189,88 @@ func main() {
 			}
 		}
 	}
+
+	if *metricsAddr != "" && *hold {
+		fmt.Println("holding:   metrics endpoint stays up; interrupt (ctrl-c) to exit")
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt)
+		<-ch
+	}
+}
+
+// parseFaultFilter resolves a -trace-faults spec against the universe:
+// "all" tracks every fault (nil filter); otherwise a comma-separated mix
+// of numeric fault IDs and fault-name substrings (matched against
+// Fault.Name, e.g. "G10" matches G10/SA0 and G10/SA1).
+func parseFaultFilter(spec string, u *faults.Universe, c *netlist.Circuit) ([]int32, error) {
+	if spec == "all" {
+		return nil, nil
+	}
+	var ids []int32
+	for _, tok := range strings.Split(spec, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		if n, err := strconv.Atoi(tok); err == nil {
+			if n < 0 || n >= u.NumFaults() {
+				return nil, fmt.Errorf("-trace-faults: fault ID %d out of range [0,%d)", n, u.NumFaults())
+			}
+			ids = append(ids, int32(n))
+			continue
+		}
+		found := false
+		for i := range u.Faults {
+			if strings.Contains(u.Faults[i].Name(c), tok) {
+				ids = append(ids, int32(i))
+				found = true
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("-trace-faults: no fault name contains %q", tok)
+		}
+	}
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("-trace-faults: empty filter %q", spec)
+	}
+	return ids, nil
+}
+
+// printFaultEvents lists the recorded lifecycle events with fault and
+// gate names resolved; long logs are elided after a prefix.
+func printFaultEvents(flog *obs.FaultLog, u *faults.Universe, c *netlist.Circuit) {
+	const maxPrint = 200
+	events, clipped := flog.Events()
+	note := ""
+	if clipped {
+		note = " (log limit hit; earliest events kept)"
+	}
+	fmt.Printf("fault lifecycle: %d events%s\n", len(events), note)
+	for i, ev := range events {
+		if i == maxPrint {
+			fmt.Printf("  ... %d more (use -metrics-out and the API for the full log)\n", len(events)-maxPrint)
+			break
+		}
+		vec := strconv.Itoa(int(ev.Vec))
+		if ev.Vec < 0 {
+			vec = "-"
+		}
+		fmt.Printf("  vec=%-5s fault=%-20s %-21s at %s\n",
+			vec, u.Faults[ev.Fault].Name(c), ev.Kind, c.Gate(netlist.GateID(ev.Gate)).Name)
+	}
+}
+
+// writeTo creates path and streams write into it.
+func writeTo(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func loadCircuit(file, suite string) (*netlist.Circuit, error) {

@@ -8,6 +8,7 @@
 //	tables            # all tables, full circuit lists (slow)
 //	tables -table 3   # one table
 //	tables -quick     # small-circuit subsets only
+//	tables -table 3 -metrics-out t3.json   # per-cell registry snapshots
 package main
 
 import (
@@ -22,8 +23,9 @@ import (
 // quickCircuits is the -quick circuit subset shared by tables 2-4 and 6.
 var quickCircuits = []string{"s298", "s344", "s386", "s820", "s1494"}
 
-// emit writes the requested table (0 = all) to w.
-func emit(w io.Writer, table int, quick bool) error {
+// emit writes the requested table (0 = all) to w. A non-nil sink collects
+// one metric-registry snapshot per Table 3 cell (circuit x engine).
+func emit(w io.Writer, table int, quick bool, sink *harness.MetricsSink) error {
 	t3 := harness.Table3Circuits
 	t4 := harness.Table4Circuits
 	t6 := harness.Table6Circuits
@@ -43,7 +45,7 @@ func emit(w io.Writer, table int, quick bool) error {
 	}
 	jobs := []job{
 		{2, func() (*harness.Table, error) { return harness.Table2(t3) }},
-		{3, func() (*harness.Table, error) { return harness.Table3(t3) }},
+		{3, func() (*harness.Table, error) { return harness.Table3Observed(t3, sink) }},
 		{4, func() (*harness.Table, error) { return harness.Table4(t4) }},
 		{5, func() (*harness.Table, error) { return harness.Table5(t5ckt, t5counts) }},
 		{6, func() (*harness.Table, error) { return harness.Table6(t6) }},
@@ -63,13 +65,31 @@ func emit(w io.Writer, table int, quick bool) error {
 
 func main() {
 	var (
-		table = flag.Int("table", 0, "table number (2-6); 0 = all")
-		quick = flag.Bool("quick", false, "restrict to small circuits")
+		table      = flag.Int("table", 0, "table number (2-6); 0 = all")
+		quick      = flag.Bool("quick", false, "restrict to small circuits")
+		metricsOut = flag.String("metrics-out", "", "write per-cell metric snapshots (Table 3) to this JSON file")
 	)
 	flag.Parse()
 
-	if err := emit(os.Stdout, *table, *quick); err != nil {
+	var sink *harness.MetricsSink
+	if *metricsOut != "" {
+		sink = &harness.MetricsSink{}
+	}
+	if err := emit(os.Stdout, *table, *quick, sink); err != nil {
 		fmt.Fprintf(os.Stderr, "tables: %v\n", err)
 		os.Exit(1)
+	}
+	if sink != nil {
+		f, err := os.Create(*metricsOut)
+		if err == nil {
+			err = sink.WriteJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tables: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

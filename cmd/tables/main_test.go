@@ -17,7 +17,7 @@ var update = flag.Bool("update", false, "rewrite golden files from current outpu
 // itself. Regenerate deliberately with: go test ./cmd/tables -update
 func TestTable2QuickGolden(t *testing.T) {
 	var buf bytes.Buffer
-	if err := emit(&buf, 2, true); err != nil {
+	if err := emit(&buf, 2, true, nil); err != nil {
 		t.Fatal(err)
 	}
 	golden := filepath.Join("testdata", "table2_quick.golden")

@@ -33,6 +33,7 @@ import (
 	"repro/internal/goodsim"
 	"repro/internal/iscas"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/proofs"
 	"repro/internal/serial"
@@ -84,6 +85,26 @@ type (
 	ATPGOptions = atpg.Options
 	// ATPGResult reports a generation campaign.
 	ATPGResult = atpg.Result
+)
+
+// Observability types (see OBSERVABILITY.md).
+type (
+	// Observer bundles the observability layer handed to a run: a metric
+	// registry, a phase tracer, and a fault-lifecycle log, any of which
+	// may be nil. A nil *Observer disables observation entirely at zero
+	// per-event cost.
+	Observer = obs.Observer
+	// MetricRegistry is a typed registry of counters, gauges and
+	// histograms.
+	MetricRegistry = obs.Registry
+	// PhaseTracer records span-style phase timings and can emit a
+	// chrome://tracing JSON trace.
+	PhaseTracer = obs.Tracer
+	// FaultEventLog records per-fault lifecycle events (injected,
+	// diverged, became-visible, latched, detected, dropped).
+	FaultEventLog = obs.FaultLog
+	// FaultEvent is one fault-lifecycle event.
+	FaultEvent = obs.FaultEvent
 )
 
 // Fault kinds.
@@ -152,6 +173,22 @@ func CsimP(workers int) ParallelConfig {
 // returns the merged detections plus merged instrumentation counters.
 func SimulateParallel(u *Universe, vs *Vectors, cfg ParallelConfig) (*Result, SimStats, error) {
 	return parallel.Simulate(u, vs, cfg)
+}
+
+// NewObserver builds a fully enabled observability bundle: a fresh
+// metric registry with a phase tracer feeding it. Attach a fault log by
+// setting the Faults field; attach the bundle through Config.Obs or
+// ParallelConfig.Obs.
+func NewObserver() *Observer {
+	reg := obs.NewRegistry()
+	return &obs.Observer{Metrics: reg, Tracer: obs.NewTracer(reg)}
+}
+
+// NewFaultLog builds a fault-lifecycle event log for a universe of
+// numFaults faults. track selects the fault IDs to record (nil = all);
+// limit bounds the in-memory event count (0 = default).
+func NewFaultLog(numFaults int, track []int32, limit int) *FaultEventLog {
+	return obs.NewFaultLog(numFaults, track, limit)
 }
 
 // New builds a concurrent fault simulator over a universe.

@@ -32,6 +32,7 @@ import (
 	"repro/internal/logic"
 	"repro/internal/macro"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/vectors"
 )
 
@@ -58,6 +59,17 @@ type Config struct {
 	// Trace, when non-nil, receives divergence/convergence/detection
 	// events (used by the Figure 1 walkthrough example).
 	Trace func(ev TraceEvent)
+	// Obs attaches the observability layer: the metric registry the
+	// simulator registers into, the phase tracer, and the fault-lifecycle
+	// event log (see internal/obs and OBSERVABILITY.md). Nil — the
+	// default — disables observability entirely; the hot paths then take
+	// the nil fast path at zero added allocations.
+	Obs *obs.Observer
+	// ObsPrefix namespaces this simulator's metrics inside the registry;
+	// empty means DefaultObsPrefix ("csim."). The csim-P engine gives
+	// each partition worker its own prefix so per-worker gauges stay
+	// distinguishable.
+	ObsPrefix string
 }
 
 // MV returns the paper's best configuration, csim-MV.
@@ -98,42 +110,6 @@ type elem struct {
 
 // elemSize is the accounted per-element memory footprint in bytes.
 const elemSize = 16
-
-// Stats reports instrumentation counters.
-type Stats struct {
-	Evals      int   // faulty-machine gate evaluations
-	Skips      int   // merged machines skipped without re-evaluation
-	GoodEvals  int   // good-machine value refreshes (evaluations or trace replays)
-	PeakElems  int   // high-water mark of live fault elements
-	CurElems   int   // live fault elements now
-	Macros     int   // macro count of the plan in use
-	MemBytes   int64 // accounted fault-element memory at peak
-	Detections int
-}
-
-// MergeStats combines per-partition counters into run totals. Every
-// partition owns a disjoint element arena and a disjoint fault subset, so
-// the additive counters (Evals, Skips, GoodEvals, Detections, CurElems)
-// and the memory accounting (PeakElems, MemBytes) all sum — the run's peak
-// fault-structure footprint is the sum of per-partition peaks, never a
-// last-writer-wins value. Macros describes the (identical) per-partition
-// plan, so the maximum is kept rather than summed.
-func MergeStats(parts ...Stats) Stats {
-	var out Stats
-	for _, p := range parts {
-		out.Evals += p.Evals
-		out.Skips += p.Skips
-		out.GoodEvals += p.GoodEvals
-		out.PeakElems += p.PeakElems
-		out.CurElems += p.CurElems
-		out.MemBytes += p.MemBytes
-		out.Detections += p.Detections
-		if p.Macros > out.Macros {
-			out.Macros = p.Macros
-		}
-	}
-	return out
-}
 
 // Simulator is a concurrent fault simulator over one fault universe.
 type Simulator struct {
@@ -181,12 +157,17 @@ type Simulator struct {
 	dffEvent        []bool
 	vecIndex        int
 	firstCycle      bool
+
+	// Observability (all nil when Config.Obs is nil — the zero-cost
+	// disabled state).
+	flog *obs.FaultLog
+	sink *obsSink
 }
 
 // Ats is the internal mutable counter block (kept separate so Stats can be
 // returned by value).
 type Ats struct {
-	Evals, GoodEvals, PeakElems, CurElems, Detections, Skips int
+	Evals, GoodEvals, PeakElems, CurElems, Detections, Skips, Scheds int
 }
 
 type consumer struct {
@@ -234,8 +215,12 @@ func newSim(u *faults.Universe, cfg Config, ids []int32) (*Simulator, error) {
 	if cfg.MacroMaxInputs == 0 {
 		cfg.MacroMaxInputs = macro.DefaultMaxInputs
 	}
+	if cfg.ObsPrefix == "" {
+		cfg.ObsPrefix = DefaultObsPrefix
+	}
 	var plan *macro.Plan
 	var err error
+	sp := cfg.Obs.Span("macro-extract")
 	switch {
 	case cfg.ReconvergentMacros:
 		plan, err = macro.ExtractReconvergent(c, cfg.MacroMaxInputs)
@@ -244,6 +229,7 @@ func newSim(u *faults.Universe, cfg Config, ids []int32) (*Simulator, error) {
 	default:
 		plan = macro.Trivial(c)
 	}
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -282,6 +268,15 @@ func newSim(u *faults.Universe, cfg Config, ids []int32) (*Simulator, error) {
 	s.newQLists = make([][]pendingElem, len(c.DFFs))
 	s.dffEvent = make([]bool, len(c.DFFs))
 
+	s.flog = cfg.Obs.FaultLog()
+	if reg := cfg.Obs.Registry(); reg != nil {
+		s.sink = newObsSink(reg, cfg.ObsPrefix, s.numSimFaults(ids))
+		ms := plan.Summary()
+		reg.Gauge(cfg.ObsPrefix + "macro_absorbed_gates").Set(int64(ms.AbsorbedGates))
+		reg.Gauge(cfg.ObsPrefix + "macro_max_frame").Set(int64(ms.MaxFrame))
+		reg.Gauge(cfg.ObsPrefix + "macro_levels").Set(int64(ms.MaxLevel))
+	}
+
 	// Fault-site ownership: faults on absorbed gates belong to their
 	// macro's root. A partition-restricted simulator sites only its own
 	// subset; ids is sorted, so per-gate locals stay sorted.
@@ -295,6 +290,9 @@ func newSim(u *faults.Universe, cfg Config, ids []int32) (*Simulator, error) {
 		s.locals[owner] = append(s.locals[owner], f.ID)
 		if !f.Kind.Stuck() {
 			anyTransition = true
+		}
+		if s.flog != nil {
+			s.flog.Emit(obs.FaultEvent{Vec: -1, Fault: f.ID, Gate: int32(owner), Kind: obs.FaultInjected})
 		}
 	}
 	if ids == nil {
@@ -354,12 +352,22 @@ func (s *Simulator) Stats() Stats {
 		Skips:      s.stats.Skips,
 		Evals:      s.stats.Evals,
 		GoodEvals:  s.stats.GoodEvals,
+		Scheds:     s.stats.Scheds,
 		PeakElems:  s.stats.PeakElems,
 		CurElems:   s.stats.CurElems,
 		Macros:     s.plan.NumMacros(),
 		MemBytes:   int64(s.stats.PeakElems) * elemSize,
 		Detections: s.stats.Detections,
 	}
+}
+
+// numSimFaults is the simulated fault count: the partition size, or the
+// whole universe when unrestricted.
+func (s *Simulator) numSimFaults(ids []int32) int {
+	if ids != nil {
+		return len(ids)
+	}
+	return len(s.u.Faults)
 }
 
 // Plan exposes the macro plan (inspection/tests).
@@ -428,4 +436,13 @@ func (s *Simulator) trace(kind TraceKind, g netlist.GateID, fault int32) {
 	if s.cfg.Trace != nil {
 		s.cfg.Trace(TraceEvent{Kind: kind, Gate: g, Fault: fault, Vec: s.vecIndex})
 	}
+}
+
+// fev emits one fault-lifecycle event; with no log attached it reduces to
+// an inlined nil check.
+func (s *Simulator) fev(kind obs.FaultEventKind, g netlist.GateID, fault int32) {
+	if s.flog == nil {
+		return
+	}
+	s.flog.Emit(obs.FaultEvent{Vec: int32(s.vecIndex), Fault: fault, Gate: int32(g), Kind: kind})
 }

@@ -2,9 +2,11 @@ package csim
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/faults"
 	"repro/internal/logic"
+	"repro/internal/obs"
 )
 
 // Cycle simulates one clock period: apply the vector, settle the
@@ -14,6 +16,13 @@ func (s *Simulator) Cycle(vec []logic.V) {
 	if s.goodTrace != nil && s.vecIndex >= s.goodTrace.Cycles() {
 		panic(fmt.Sprintf("csim: vector %d beyond the recorded good trace (%d cycles)",
 			s.vecIndex, s.goodTrace.Cycles()))
+	}
+	// Observability is published once per cycle (never per event): with a
+	// sink attached the cycle is timed and the counters flushed at the
+	// end; without one this is a single nil check.
+	var cycleStart time.Time
+	if s.sink != nil {
+		cycleStart = time.Now()
 	}
 	// Re-arm macros whose transition faults fired a delayed edge last
 	// cycle: their elements must be re-examined even without new events.
@@ -38,6 +47,9 @@ func (s *Simulator) Cycle(vec []logic.V) {
 	s.detect()
 	s.clock()
 	s.vecIndex++
+	if s.sink != nil {
+		s.sink.flush(s.Stats(), time.Since(cycleStart))
+	}
 }
 
 // applyPIs asserts the vector on the primary inputs. Every PI's local
@@ -95,12 +107,16 @@ func (s *Simulator) applyPIs(vec []logic.V) {
 				if ownIdx >= 0 {
 					s.free(ownIdx)
 					s.trace(TraceConverge, pi, f)
+					s.fev(obs.FaultConverged, pi, f)
 				}
 			} else {
 				w := logic.PackWord(nil, newOut)
 				if ownIdx < 0 {
 					ownIdx = s.alloc(f, w, 0)
 					s.trace(TraceDiverge, pi, f)
+					s.fev(obs.FaultDiverged, pi, f)
+					// A PI element always carries a differing output.
+					s.fev(obs.FaultVisible, pi, f)
 				} else {
 					s.arena[ownIdx].word = w
 				}
@@ -150,6 +166,7 @@ func (s *Simulator) detect() {
 			}
 			if !s.arena[cu.cur].word.Out().Binary() {
 				s.res.PotDetect(f)
+				s.fev(obs.FaultPotDetected, po, f)
 			}
 			cu.advance(s)
 		}
@@ -170,6 +187,10 @@ func (s *Simulator) detect() {
 				s.res.Detect(f, s.vecIndex)
 				s.stats.Detections++
 				s.trace(TraceDetect, po, f)
+				s.fev(obs.FaultDetected, po, f)
+				// Detection drops the fault; its elements are reclaimed
+				// event-driven from here on.
+				s.fev(obs.FaultDropped, po, f)
 				s.free(cu.unlink(s))
 				dropsHappened = true
 				continue
@@ -273,6 +294,9 @@ func (s *Simulator) clock() {
 			}
 			if newQv != newGoodQ {
 				pend = append(pend, pendingElem{fault: f, word: logic.PackWord(nil, newQv)})
+				// The faulty state survives the clock edge: the only way a
+				// fault outlives the cycle that activated it.
+				s.fev(obs.FaultLatched, ff, f)
 			}
 			if newQv != oldQ {
 				anyEvent = true

@@ -6,6 +6,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/logic"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 )
 
 // cursor walks a sorted, sentinel-terminated fault list. prev tracking
@@ -90,6 +91,7 @@ func (s *Simulator) scheduleRoot(r netlist.GateID) {
 		return
 	}
 	s.sched[r] = true
+	s.stats.Scheds++
 	l := s.plan.RootLevel[r]
 	s.queue[l] = append(s.queue[l], r)
 }
@@ -282,10 +284,16 @@ func (s *Simulator) evalRoot(r netlist.GateID) {
 			if newW == newGW {
 				s.free(ownIdx)
 				s.trace(TraceConverge, r, f)
+				s.fev(obs.FaultConverged, r, f)
 			} else if s.cfg.SplitLists && newW.Out() == newGoodOut {
 				nbInv.append(s, ownIdx)
 			} else {
 				nbVis.append(s, ownIdx)
+				// Visibility here can flip without a faulty-machine event:
+				// the good output moved away from the stored faulty output.
+				if newW.Out() != newGoodOut && oldOut == oldGoodOut {
+					s.fev(obs.FaultVisible, r, f)
+				}
 			}
 			continue // output unchanged: no event for this machine
 		}
@@ -314,16 +322,19 @@ func (s *Simulator) evalRoot(r netlist.GateID) {
 		s.stats.Evals++
 
 		newW := logic.PackWord(fin, newOut)
+		wasVis := ownIdx >= 0 && oldOut != oldGoodOut
 		if newW == newGW {
 			// Converged: state identical to the good machine.
 			if ownIdx >= 0 {
 				s.free(ownIdx)
 				s.trace(TraceConverge, r, f)
+				s.fev(obs.FaultConverged, r, f)
 			}
 		} else {
 			if ownIdx < 0 {
 				ownIdx = s.alloc(f, newW, 0)
 				s.trace(TraceDiverge, r, f)
+				s.fev(obs.FaultDiverged, r, f)
 			} else {
 				s.arena[ownIdx].word = newW
 			}
@@ -331,6 +342,9 @@ func (s *Simulator) evalRoot(r netlist.GateID) {
 				nbInv.append(s, ownIdx)
 			} else {
 				nbVis.append(s, ownIdx)
+				if newOut != newGoodOut && !wasVis {
+					s.fev(obs.FaultVisible, r, f)
+				}
 			}
 		}
 		if newOut != oldOut {

@@ -10,6 +10,7 @@ package goodsim
 import (
 	"repro/internal/logic"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 )
 
 // Sim is a good-machine simulator. The zero value is not usable; call New.
@@ -202,6 +203,15 @@ func (tr *Trace) At(cycle int, g netlist.GateID) logic.V {
 // Record simulates the whole vector sequence once from the all-X state and
 // captures every gate's settled value each cycle.
 func Record(c *netlist.Circuit, vecs [][]logic.V) *Trace {
+	return RecordObserved(c, vecs, nil)
+}
+
+// RecordObserved is Record under observability: the derivation runs
+// inside a "good-sim" tracer span and publishes the good machine's gate
+// evaluations and recorded cycles as goodsim.* metrics. ob may be nil.
+func RecordObserved(c *netlist.Circuit, vecs [][]logic.V, ob *obs.Observer) *Trace {
+	sp := ob.Span("good-sim")
+	defer sp.End()
 	s := New(c)
 	tr := &Trace{
 		numGates: len(c.Gates),
@@ -212,6 +222,11 @@ func Record(c *netlist.Circuit, vecs [][]logic.V) *Trace {
 		s.Apply(v)
 		copy(tr.vals[t*tr.numGates:(t+1)*tr.numGates], s.val)
 		s.Clock()
+	}
+	if reg := ob.Registry(); reg != nil {
+		reg.Counter("goodsim.events").Add(int64(s.Events))
+		reg.Counter("goodsim.cycles").Add(int64(len(vecs)))
+		reg.Gauge("goodsim.trace_bytes").Set(int64(len(tr.vals)))
 	}
 	return tr
 }

@@ -4,12 +4,16 @@
 package harness
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/csim"
 	"repro/internal/faults"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/proofs"
 	"repro/internal/vectors"
@@ -76,6 +80,21 @@ func (m Measurement) FltCvg() float64 { return 100 * m.Coverage }
 
 // Run measures one engine over a universe and test set.
 func Run(engine Engine, u *faults.Universe, vs *vectors.Set) (Measurement, error) {
+	return RunObserved(engine, u, vs, nil)
+}
+
+// EnginePrefix is the registry namespace of a csim engine's metrics when
+// run through the harness, e.g. "csim-MV." — per-engine eval counts stay
+// distinguishable in one metrics snapshot.
+func EnginePrefix(engine Engine) string { return string(engine) + "." }
+
+// RunObserved measures one engine under the observability layer: the
+// engine registers its metrics into ob's registry (namespaced by
+// EnginePrefix), the simulation runs inside a "fault-sim" tracer span,
+// and — when a registry is attached — the Measurement's memory column is
+// sourced from the registry snapshot rather than the bespoke Stats
+// counters. ob may be nil, which is exactly Run.
+func RunObserved(engine Engine, u *faults.Universe, vs *vectors.Set, ob *obs.Observer) (Measurement, error) {
 	m := Measurement{
 		Engine:   engine,
 		Circuit:  u.Circuit.Name,
@@ -86,21 +105,33 @@ func Run(engine Engine, u *faults.Universe, vs *vectors.Set) (Measurement, error
 	var res *faults.Result
 	switch engine {
 	case CsimP:
-		return RunParallel(u, vs, 0)
+		return RunParallelObserved(u, vs, 0, ob)
 	case PROOFS:
 		sim, err := proofs.New(u)
 		if err != nil {
 			return m, err
 		}
+		sp := ob.Span("fault-sim")
 		res = sim.Run(vs)
+		sp.End()
 		m.MemBytes = sim.Stats().MemBytes
+		ob.Registry().Gauge(EnginePrefix(engine) + "mem_bytes").Set(m.MemBytes)
 	default:
-		sim, err := csim.New(u, engine.Config())
+		cfg := engine.Config()
+		cfg.Obs = ob
+		cfg.ObsPrefix = EnginePrefix(engine)
+		sim, err := csim.New(u, cfg)
 		if err != nil {
 			return m, err
 		}
+		sp := ob.Span("fault-sim")
 		res = sim.Run(vs)
-		m.MemBytes = sim.Stats().MemBytes
+		sp.End()
+		if st, ok := csim.StatsFromRegistry(ob.Registry(), cfg.ObsPrefix); ok {
+			m.MemBytes = st.MemBytes
+		} else {
+			m.MemBytes = sim.Stats().MemBytes
+		}
 	}
 	m.CPU = time.Since(start)
 	m.Detected = res.NumDet
@@ -115,7 +146,14 @@ func Run(engine Engine, u *faults.Universe, vs *vectors.Set) (Measurement, error
 // shared good-machine trace. Measurement.Workers records the effective
 // partition count.
 func RunParallel(u *faults.Universe, vs *vectors.Set, workers int) (Measurement, error) {
-	opt := parallel.Options{Workers: workers, Config: csim.MV()}
+	return RunParallelObserved(u, vs, workers, nil)
+}
+
+// RunParallelObserved is RunParallel under the observability layer: phase
+// spans, per-worker gauges under "csim-P.worker<i>.", merged run totals
+// under "csim-P.", and a registry-sourced memory column. ob may be nil.
+func RunParallelObserved(u *faults.Universe, vs *vectors.Set, workers int, ob *obs.Observer) (Measurement, error) {
+	opt := parallel.Options{Workers: workers, Config: csim.MV(), Obs: ob}
 	m := Measurement{
 		Engine:   CsimP,
 		Circuit:  u.Circuit.Name,
@@ -129,11 +167,59 @@ func RunParallel(u *faults.Universe, vs *vectors.Set, workers int) (Measurement,
 		return m, err
 	}
 	m.CPU = time.Since(start)
-	m.MemBytes = st.MemBytes
+	if rst, ok := csim.StatsFromRegistry(ob.Registry(), parallel.MergedPrefix); ok {
+		m.MemBytes = rst.MemBytes
+	} else {
+		m.MemBytes = st.MemBytes
+	}
 	m.Detected = res.NumDet
 	m.PotOnly = res.NumPotOnly()
 	m.Coverage = res.Coverage()
 	return m, nil
+}
+
+// NamedSnapshot is one table cell's registry snapshot.
+type NamedSnapshot struct {
+	Name    string      `json:"name"` // "circuit/engine"
+	Metrics []obs.Point `json:"metrics"`
+}
+
+// MetricsSink accumulates per-run registry snapshots while the harness
+// regenerates tables; cmd/tables serializes it behind -metrics-out.
+type MetricsSink struct {
+	mu   sync.Mutex
+	runs []NamedSnapshot
+}
+
+// Add records one named snapshot.
+func (s *MetricsSink) Add(name string, metrics []obs.Point) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.runs = append(s.runs, NamedSnapshot{Name: name, Metrics: metrics})
+	s.mu.Unlock()
+}
+
+// Runs returns the collected snapshots in insertion order.
+func (s *MetricsSink) Runs() []NamedSnapshot {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]NamedSnapshot(nil), s.runs...)
+}
+
+// WriteJSON writes the collected snapshots as {"runs": [...]}.
+func (s *MetricsSink) WriteJSON(w io.Writer) error {
+	runs := s.Runs()
+	if runs == nil {
+		runs = []NamedSnapshot{}
+	}
+	return writeJSON(w, struct {
+		Runs []NamedSnapshot `json:"runs"`
+	}{runs})
 }
 
 // Table renders rows of measurements as an aligned text table.
@@ -187,6 +273,12 @@ func (t *Table) String() string {
 		fmt.Fprintf(&b, "%s\n", t.Caption)
 	}
 	return b.String()
+}
+
+func writeJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
 }
 
 // Seconds formats a duration as the paper's CPU columns (seconds).

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/iscas"
+	"repro/internal/obs"
 )
 
 // Table3Circuits is the circuit list of the paper's Table 3 (deterministic
@@ -66,7 +67,14 @@ func Table2(circuits []string) (*Table, error) {
 // Table3 reproduces the deterministic-patterns comparison of csim-V,
 // csim-M, csim-MV and PROOFS (CPU seconds and memory), extended with a
 // csim-P column: the fault-partition parallel engine at NumCPU workers.
-func Table3(circuits []string) (*Table, error) {
+func Table3(circuits []string) (*Table, error) { return Table3Observed(circuits, nil) }
+
+// Table3Observed regenerates Table 3 under the observability layer: each
+// cell runs with a fresh metric registry and tracer, so the MEM column
+// (and the csim-P per-worker gauges) come from registry snapshots instead
+// of bespoke counters; every cell's snapshot lands in sink when non-nil
+// (the cmd/tables -metrics-out payload).
+func Table3Observed(circuits []string, sink *MetricsSink) (*Table, error) {
 	t := &Table{
 		Title: "Table 3. Deterministic patterns (I)",
 		Header: []string{"ckt",
@@ -86,10 +94,13 @@ func Table3(circuits []string) (*Table, error) {
 		}
 		row := []string{name}
 		for _, eng := range []Engine{CsimV, CsimM, CsimMV, CsimP, PROOFS} {
-			m, err := Run(eng, u, vs)
+			reg := obs.NewRegistry()
+			ob := &obs.Observer{Metrics: reg, Tracer: obs.NewTracer(reg)}
+			m, err := RunObserved(eng, u, vs, ob)
 			if err != nil {
 				return nil, err
 			}
+			sink.Add(name+"/"+string(eng), reg.Snapshot())
 			row = append(row, Seconds(m.CPU), Meg(m.MemBytes))
 		}
 		t.Add(row...)

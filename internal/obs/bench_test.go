@@ -1,0 +1,98 @@
+package obs
+
+import "testing"
+
+// TestNilObsZeroAllocs is the disabled-path regression gate (run in CI):
+// every handle operation on the nil fast path must cost zero heap
+// allocations, so engines can instrument hot loops unconditionally.
+func TestNilObsZeroAllocs(t *testing.T) {
+	var (
+		r *Registry
+		c *Counter
+		g *Gauge
+		h *Histogram
+		l *FaultLog
+		o *Observer
+	)
+	checks := map[string]func(){
+		"counter.add":    func() { c.Add(1) },
+		"gauge.set":      func() { g.Set(1) },
+		"gauge.setmax":   func() { g.SetMax(1) },
+		"hist.observe":   func() { h.Observe(1) },
+		"registry.hand":  func() { _ = r.Counter("x") },
+		"faultlog.emit":  func() { l.Emit(FaultEvent{Fault: 1}) },
+		"faultlog.track": func() { _ = l.Tracks(1) },
+		"observer.span":  func() { o.Span("x").End() },
+	}
+	for name, fn := range checks {
+		if allocs := testing.AllocsPerRun(1000, fn); allocs != 0 {
+			t.Errorf("%s: %v allocs/op on the nil fast path, want 0", name, allocs)
+		}
+	}
+}
+
+// TestEnabledHandleZeroAllocs asserts the steady-state cost of enabled
+// handles: after registration, Add/Set/Observe never allocate either.
+func TestEnabledHandleZeroAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", ExpBuckets(1, 2, 10))
+	checks := map[string]func(){
+		"counter.add":  func() { c.Add(1) },
+		"gauge.set":    func() { g.Set(1) },
+		"hist.observe": func() { h.Observe(3) },
+	}
+	for name, fn := range checks {
+		if allocs := testing.AllocsPerRun(1000, fn); allocs != 0 {
+			t.Errorf("%s: %v allocs/op on the enabled path, want 0", name, allocs)
+		}
+	}
+}
+
+// BenchmarkDisabledCounter measures the nil fast path an instrumented
+// hot loop pays when observability is off: expected ~1 ns and 0 B/op.
+func BenchmarkDisabledCounter(b *testing.B) {
+	var c *Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+// BenchmarkDisabledHistogram is the nil fast path of Observe.
+func BenchmarkDisabledHistogram(b *testing.B) {
+	var h *Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}
+
+// BenchmarkDisabledFaultLog is the nil fast path of the lifecycle log.
+func BenchmarkDisabledFaultLog(b *testing.B) {
+	var l *FaultLog
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Emit(FaultEvent{Vec: int32(i), Fault: 1, Kind: FaultDiverged})
+	}
+}
+
+// BenchmarkEnabledCounter is the enabled-path cost (one atomic add).
+func BenchmarkEnabledCounter(b *testing.B) {
+	c := NewRegistry().Counter("c")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+// BenchmarkEnabledHistogram is the enabled-path cost of Observe over the
+// standard exponential duration layout.
+func BenchmarkEnabledHistogram(b *testing.B) {
+	h := NewRegistry().Histogram("h", ExpBuckets(1000, 4, 12))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}

@@ -13,6 +13,7 @@
 package parallel
 
 import (
+	"fmt"
 	"runtime"
 	"sort"
 	"sync"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/csim"
 	"repro/internal/faults"
 	"repro/internal/goodsim"
+	"repro/internal/obs"
 	"repro/internal/vectors"
 )
 
@@ -29,7 +31,14 @@ type Options struct {
 	// runtime.NumCPU(). It is clamped to the universe size.
 	Workers int
 	// Config is the per-partition simulator variant (typically csim.MV()).
+	// Its Obs/ObsPrefix fields are overridden per worker; attach
+	// observability through Options.Obs instead.
 	Config csim.Config
+	// Obs attaches the observability layer to the whole run: phase spans
+	// (good-sim, partition, fault-sim with one lane per worker, merge),
+	// per-worker metrics under "csim-P.worker<i>.", and the merged run
+	// totals under "csim-P.". Nil disables observability.
+	Obs *obs.Observer
 }
 
 // EffectiveWorkers reports the partition count Simulate will actually use
@@ -79,19 +88,30 @@ func Partition(u *faults.Universe, k int) [][]int32 {
 // Simulate runs csim-P over the whole vector set and returns the merged
 // detections along with the merged per-partition stats.
 func Simulate(u *faults.Universe, vs *vectors.Set, opt Options) (*faults.Result, csim.Stats, error) {
+	ob := opt.Obs
 	k := opt.workers(u.NumFaults())
-	trace := goodsim.Record(u.Circuit, vs.Vecs)
+	trace := goodsim.RecordObserved(u.Circuit, vs.Vecs, ob)
+	psp := ob.Span("partition")
 	parts := Partition(u, k)
+	psp.End()
 
 	results := make([]*faults.Result, k)
 	stats := make([]csim.Stats, k)
 	errs := make([]error, k)
+	fsp := ob.Span("fault-sim")
 	var wg sync.WaitGroup
 	for i := range parts {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			sim, err := csim.NewPartition(u, opt.Config, parts[i])
+			// Each worker publishes into its own metric namespace and
+			// trace lane; lane 0 stays for the run-level phases.
+			wsp := ob.SpanTID(fmt.Sprintf("worker%d", i), i+1)
+			defer wsp.End()
+			cfg := opt.Config
+			cfg.Obs = ob
+			cfg.ObsPrefix = WorkerPrefix(i)
+			sim, err := csim.NewPartition(u, cfg, parts[i])
 			if err != nil {
 				errs[i] = err
 				return
@@ -105,10 +125,28 @@ func Simulate(u *faults.Universe, vs *vectors.Set, opt Options) (*faults.Result,
 		}(i)
 	}
 	wg.Wait()
+	fsp.End()
 	for _, err := range errs {
 		if err != nil {
 			return nil, csim.Stats{}, err
 		}
 	}
-	return faults.MergeResults(results...), csim.MergeStats(stats...), nil
+	msp := ob.Span("merge")
+	res := faults.MergeResults(results...)
+	merged := csim.MergeStats(stats...)
+	msp.End()
+	if reg := ob.Registry(); reg != nil {
+		// Run totals next to the per-worker namespaces, via the same
+		// generic Stats tag table the merge uses.
+		csim.PublishStats(reg, MergedPrefix, merged)
+		reg.Gauge(MergedPrefix + "workers").Set(int64(k))
+	}
+	return res, merged, nil
 }
+
+// MergedPrefix namespaces the merged csim-P run totals in the registry.
+const MergedPrefix = "csim-P."
+
+// WorkerPrefix namespaces one partition worker's metrics (queue depth,
+// cycles simulated, faults live, detections/drops, element gauges).
+func WorkerPrefix(i int) string { return fmt.Sprintf("csim-P.worker%d.", i) }

@@ -10,6 +10,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/logic"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/vectors"
 )
 
@@ -192,6 +193,85 @@ func TestStatsPartitionInvariants(t *testing.T) {
 		if merged.PeakElems < want.PeakElems {
 			t.Errorf("workers=%d: summed peaks %d below single-threaded peak %d",
 				w, merged.PeakElems, want.PeakElems)
+		}
+	}
+}
+
+// TestObservedParallelRun attaches the full observability layer to a
+// csim-P run and checks the per-worker metric namespaces, the merged
+// "csim-P." totals (which must agree with the returned merged Stats and
+// with a generic re-merge of the per-worker registry values), the phase
+// spans, and that observation does not perturb the detections.
+func TestObservedParallelRun(t *testing.T) {
+	c := testCircuit(t, 11, 5, 4, 6, 120)
+	u := faults.StuckCollapsed(c)
+	vs := vectors.Random(c, 80, 11)
+	const k = 3
+
+	plain, _, err := Simulate(u, vs, Options{Workers: k, Config: csim.MV()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(reg)
+	ob := &obs.Observer{Metrics: reg, Tracer: tr}
+	res, merged, err := Simulate(u, vs, Options{Workers: k, Config: csim.MV(), Obs: ob})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := plain.Diff(res); diff != "" {
+		t.Fatalf("observability changed the merged result:\n%s", diff)
+	}
+
+	// Merged totals published under csim-P. must equal the returned Stats.
+	got, ok := csim.StatsFromRegistry(reg, MergedPrefix)
+	if !ok {
+		t.Fatalf("no merged stats under %q", MergedPrefix)
+	}
+	if got != merged {
+		t.Fatalf("registry merged stats %+v != returned %+v", got, merged)
+	}
+	if p, ok := reg.Get(MergedPrefix + "workers"); !ok || p.Value != k {
+		t.Fatalf("workers gauge = %+v, want %d", p, k)
+	}
+
+	// Per-worker namespaces exist and re-merge (generically, through the
+	// registry) to the same totals.
+	var parts []csim.Stats
+	for i := 0; i < k; i++ {
+		st, ok := csim.StatsFromRegistry(reg, WorkerPrefix(i))
+		if !ok {
+			t.Fatalf("worker %d published no metrics", i)
+		}
+		if p, ok := reg.Get(WorkerPrefix(i) + "cycles"); !ok || p.Value != int64(vs.Len()) {
+			t.Fatalf("worker %d cycles = %+v, want %d", i, p, vs.Len())
+		}
+		if _, ok := reg.Get(WorkerPrefix(i) + "queue_depth"); !ok {
+			t.Fatalf("worker %d missing queue_depth gauge", i)
+		}
+		if p, ok := reg.Get(WorkerPrefix(i) + "faults_live"); !ok ||
+			p.Value != int64(len(Partition(u, k)[i])-st.Detections) {
+			t.Fatalf("worker %d faults_live = %+v inconsistent with detections %d",
+				i, p, st.Detections)
+		}
+		parts = append(parts, st)
+	}
+	if remerged := csim.MergeStats(parts...); remerged != merged {
+		t.Fatalf("per-worker registry stats re-merge to %+v, want %+v", remerged, merged)
+	}
+
+	// Phase spans: good-sim, partition, fault-sim, merge, one lane per
+	// worker.
+	durs := tr.PhaseDurations()
+	for _, phase := range []string{"good-sim", "partition", "fault-sim", "merge"} {
+		if _, ok := durs[phase]; !ok {
+			t.Errorf("phase span %q missing (have %v)", phase, durs)
+		}
+	}
+	for i := 0; i < k; i++ {
+		if _, ok := durs[fmt.Sprintf("worker%d", i)]; !ok {
+			t.Errorf("worker%d span missing", i)
 		}
 	}
 }
