@@ -32,6 +32,8 @@ import (
 	"repro/internal/faults"
 	"repro/internal/harness"
 	"repro/internal/iscas"
+	"repro/internal/macro"
+	"repro/internal/netcheck"
 	"repro/internal/netlist"
 	"repro/internal/obs"
 	"repro/internal/parallel"
@@ -49,6 +51,7 @@ func main() {
 		engine      = flag.String("engine", "csim-MV", "csim | csim-V | csim-M | csim-MV | csim-P | PROOFS | serial")
 		workers     = flag.Int("workers", runtime.NumCPU(), "csim-P fault-partition worker count")
 		model       = flag.String("faults", "stuck", "fault model: stuck | stuck-all | transition")
+		check       = flag.Bool("check", false, "verify netlist/fault-list/macro-plan invariants and exit without simulating")
 		verbose     = flag.Bool("v", false, "list undetected faults")
 
 		metricsOut  = flag.String("metrics-out", "", "write a metrics registry snapshot (JSON) to this file")
@@ -87,6 +90,17 @@ func main() {
 	sp.End()
 	if err != nil {
 		fatal(err)
+	}
+	// Every loaded circuit passes the structural verifier: malformed input
+	// dies here with a diagnostic instead of panicking inside an engine.
+	if err := netcheck.AsError(netcheck.Check(c)); err != nil {
+		fatal(err)
+	}
+	if *check {
+		if err := runCheck(c, *model); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	vs, err := loadVectors(c, *vectorFile, *randomN, *seed)
 	if err != nil {
@@ -271,6 +285,46 @@ func writeTo(path string, write func(w io.Writer) error) error {
 		return err
 	}
 	return f.Close()
+}
+
+// runCheck is the -check mode: beyond the structural circuit checks
+// (already run on load), verify the selected fault model's universe and
+// the macro plans every engine variant would extract, then report.
+func runCheck(c *netlist.Circuit, model string) error {
+	u, err := universe(c, model)
+	if err != nil {
+		return err
+	}
+	if err := netcheck.AsError(netcheck.CheckUniverse(u)); err != nil {
+		return err
+	}
+	trivial := macro.Trivial(c)
+	if err := netcheck.AsError(netcheck.CheckPlan(trivial)); err != nil {
+		return err
+	}
+	plans := 1
+	for _, reconv := range []bool{false, true} {
+		var p *macro.Plan
+		if reconv {
+			p, err = macro.ExtractReconvergent(c, macro.DefaultMaxInputs)
+		} else {
+			p, err = macro.Extract(c, macro.DefaultMaxInputs)
+		}
+		if err != nil {
+			return err
+		}
+		if err := netcheck.AsError(netcheck.CheckPlan(p)); err != nil {
+			return err
+		}
+		if err := netcheck.AsError(netcheck.CheckPlanMaximal(p, macro.DefaultMaxInputs, reconv)); err != nil {
+			return err
+		}
+		plans++
+	}
+	st := c.Stats()
+	fmt.Printf("check:     %s OK (%d PI, %d PO, %d FF, %d gates; %d faults [%s]; %d plans verified)\n",
+		c.Name, st.PIs, st.POs, st.DFFs, st.Gates, u.NumFaults(), model, plans)
+	return nil
 }
 
 func loadCircuit(file, suite string) (*netlist.Circuit, error) {

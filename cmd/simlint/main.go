@@ -1,0 +1,305 @@
+// Command simlint runs the project's custom static-analysis suite
+// (internal/lint) over Go packages. It has two modes:
+//
+// Standalone multichecker:
+//
+//	simlint [-analyzers=hotpathalloc,maprange] ./...
+//
+// loads packages from source via the go tool, runs the selected
+// analyzers (all by default) and prints diagnostics. Exit status is 2
+// if any diagnostic fired, 1 on a loading/analysis error, 0 otherwise.
+//
+// Vet tool (unitchecker protocol):
+//
+//	go vet -vettool=$(which simlint) ./...
+//
+// go vet probes the tool with -V=full and -flags, then invokes it once
+// per package with a JSON config file argument; simlint type-checks the
+// unit against the compiler's export data and reports diagnostics the
+// same way cmd/vet does.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	// go vet protocol probes arrive as the sole argument.
+	if len(os.Args) == 2 {
+		switch os.Args[1] {
+		case "-V=full":
+			// The version string participates in go's build cache key.
+			fmt.Printf("%s version simlint-1.0\n", os.Args[0])
+			return
+		case "-flags":
+			printVetFlags()
+			return
+		}
+	}
+	if cfg := cfgArg(); cfg != "" {
+		os.Exit(unitcheck(cfg))
+	}
+	os.Exit(standalone())
+}
+
+// cfgArg returns the trailing *.cfg argument of a unitchecker
+// invocation, or "".
+func cfgArg() string {
+	if n := len(os.Args); n > 1 && strings.HasSuffix(os.Args[n-1], ".cfg") {
+		return os.Args[n-1]
+	}
+	return ""
+}
+
+// printVetFlags advertises per-analyzer enable flags in the JSON shape
+// `go vet` expects from a vettool's -flags probe.
+func printVetFlags() {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var fs []jsonFlag
+	for _, a := range lint.All() {
+		fs = append(fs, jsonFlag{a.Name, true, firstLine(a.Doc)})
+	}
+	data, err := json.MarshalIndent(fs, "", "\t")
+	if err != nil {
+		fatal(err)
+	}
+	os.Stdout.Write(append(data, '\n'))
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// selectFlags registers one bool flag per analyzer on fs and returns the
+// map of selections. If no flag is set, all analyzers run.
+func selectFlags(fs *flag.FlagSet) map[string]*bool {
+	sel := map[string]*bool{}
+	for _, a := range lint.All() {
+		sel[a.Name] = fs.Bool(a.Name, false, firstLine(a.Doc))
+	}
+	return sel
+}
+
+func selected(sel map[string]*bool) []*lint.Analyzer {
+	any := false
+	for _, on := range sel {
+		any = any || *on
+	}
+	var out []*lint.Analyzer
+	for _, a := range lint.All() {
+		if !any || *sel[a.Name] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+	os.Exit(1)
+}
+
+// ---- standalone multichecker mode ----
+
+func standalone() int {
+	fs := flag.NewFlagSet("simlint", flag.ExitOnError)
+	list := fs.String("analyzers", "", "comma-separated analyzer `names` to run (default: all)")
+	dir := fs.String("C", ".", "change to `dir` before loading packages")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: simlint [flags] [packages]\n\nAnalyzers:\n")
+		for _, a := range lint.All() {
+			fmt.Fprintf(fs.Output(), "  %-17s %s\n", a.Name, firstLine(a.Doc))
+		}
+		fmt.Fprintf(fs.Output(), "\nFlags:\n")
+		fs.PrintDefaults()
+	}
+	fs.Parse(os.Args[1:])
+
+	analyzers := lint.All()
+	if *list != "" {
+		analyzers = nil
+		for _, name := range strings.Split(*list, ",") {
+			a, ok := lint.ByName(strings.TrimSpace(name))
+			if !ok {
+				fatal(fmt.Errorf("unknown analyzer %q", name))
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"."}
+	}
+
+	l := lint.NewLoader(*dir)
+	pkgs, err := l.Load(patterns...)
+	if err != nil {
+		fatal(err)
+	}
+	diags, err := lint.Run(pkgs, analyzers)
+	if err != nil {
+		fatal(err)
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// ---- go vet -vettool (unitchecker) mode ----
+
+// vetConfig is the package-unit description cmd/go writes for vet tools.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func unitcheck(cfgPath string) int {
+	fs := flag.NewFlagSet("simlint", flag.ExitOnError)
+	sel := selectFlags(fs)
+	jsonOut := fs.Bool("json", false, "emit JSON diagnostics")
+	fs.Int("c", -1, "ignored (context lines; accepted for vet compatibility)")
+	fs.String("V", "", "ignored (version probe; accepted for vet compatibility)")
+	fs.Parse(os.Args[1 : len(os.Args)-1])
+
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fatal(err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fatal(fmt.Errorf("parsing %s: %w", cfgPath, err))
+	}
+
+	// simlint carries no cross-package facts, but go vet caches the
+	// output file per unit, so it must exist.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fatal(err)
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	pkg, err := typecheckUnit(&cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fatal(err)
+	}
+	diags, err := lint.Run([]*lint.Package{pkg}, selected(sel))
+	if err != nil {
+		fatal(err)
+	}
+	if *jsonOut {
+		printJSON(cfg.ImportPath, diags)
+		return 0 // JSON consumers read the payload, not the exit status
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// typecheckUnit parses the unit's files and type-checks them against the
+// compiler export data listed in the config, mirroring cmd/vet.
+func typecheckUnit(cfg *vetConfig) (*lint.Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &lint.Package{
+		PkgPath:   cfg.ImportPath,
+		Name:      tpkg.Name(),
+		Dir:       cfg.Dir,
+		Fset:      fset,
+		Syntax:    files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}
+
+// printJSON mirrors unitchecker's -json shape:
+// {pkgpath: {analyzer: [{posn, message}]}}.
+func printJSON(pkgPath string, diags []lint.Diagnostic) {
+	type jsonDiag struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	byAnalyzer := map[string][]jsonDiag{}
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], jsonDiag{d.Pos.String(), d.Message})
+	}
+	data, err := json.MarshalIndent(map[string]map[string][]jsonDiag{pkgPath: byAnalyzer}, "", "\t")
+	if err != nil {
+		fatal(err)
+	}
+	os.Stdout.Write(append(data, '\n'))
+}

@@ -1,0 +1,105 @@
+package csim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/vectors"
+)
+
+func checkSim(t *testing.T, cfg Config) *Simulator {
+	t.Helper()
+	c, err := netlist.NewBuilder("chk").
+		Input("i1").Input("i2").
+		Gate("a", logic.OpAnd, "i1", "i2").
+		Gate("n", logic.OpNot, "a").
+		DFF("q", "n").
+		Gate("o", logic.OpOr, "q", "i1").
+		Output("o").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(faults.StuckAll(c), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(vectors.Random(c, 20, 7))
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatalf("healthy simulator rejected: %v", err)
+	}
+	return s
+}
+
+// TestCheckInvariantsDetectsCorruption seeds one corruption per case and
+// verifies the audit names it.
+func TestCheckInvariantsDetectsCorruption(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(s *Simulator)
+		want    string
+	}{
+		{"sentinel", func(s *Simulator) { s.arena[0].next = 1 }, "sentinel corrupt"},
+		{"accounting", func(s *Simulator) { s.stats.CurElems++ }, "CurElems"},
+		{"local-order", func(s *Simulator) {
+			for g := range s.locals {
+				if len(s.locals[g]) >= 2 {
+					l := s.locals[g]
+					l[0], l[1] = l[1], l[0]
+					return
+				}
+			}
+			t.Fatal("no gate with 2+ local faults")
+		}, "not strictly ascending"},
+		{"free-poison", func(s *Simulator) {
+			if s.freeHead < 0 {
+				t.Skip("free list empty for this workload")
+			}
+			s.arena[s.freeHead].fault = 3
+		}, "not poisoned"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := checkSim(t, MV())
+			tc.corrupt(s)
+			err := s.CheckInvariants()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("corruption %q: got %v, want mention of %q", tc.name, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestCheckInvariantsSplitPartition corrupts the visible/invisible
+// partition directly: moving a visible element into the invisible list
+// (or vice versa) must be caught in split mode.
+func TestCheckInvariantsSplitPartition(t *testing.T) {
+	s := checkSim(t, MV())
+	moved := false
+	for g := range s.vis {
+		if head := s.vis[g]; head != 0 && !s.dropped[s.arena[head].fault] {
+			s.inv[g], s.vis[g] = head, s.arena[head].next
+			s.arena[head].next = 0
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Skip("no live visible element after this workload")
+	}
+	err := s.CheckInvariants()
+	if err == nil || !strings.Contains(err.Error(), "invisible element") {
+		t.Fatalf("got %v, want invisible-element violation", err)
+	}
+}
+
+// TestCheckInvariantsAllConfigs runs the audit after a short campaign in
+// every engine configuration.
+func TestCheckInvariantsAllConfigs(t *testing.T) {
+	for _, cfg := range []Config{{}, V(), M(), MV()} {
+		checkSim(t, cfg)
+	}
+}

@@ -55,6 +55,8 @@ func (s *Simulator) Cycle(vec []logic.V) {
 // applyPIs asserts the vector on the primary inputs. Every PI's local
 // fault list (output stuck-ats) is re-examined each cycle; the lists are
 // tiny, and this keeps fault activation exact.
+//
+//simlint:hotpath
 func (s *Simulator) applyPIs(vec []logic.V) {
 	for i, pi := range s.c.PIs {
 		newGood := vec[i].Norm()
@@ -135,6 +137,8 @@ func (s *Simulator) applyPIs(vec []logic.V) {
 
 // settle drains the event queue in level order. Consumers live at strictly
 // higher macro levels than producers, so one sweep suffices.
+//
+//simlint:hotpath
 func (s *Simulator) settle() {
 	for l := 1; l < len(s.queue); l++ {
 		bucket := s.queue[l]
@@ -148,6 +152,8 @@ func (s *Simulator) settle() {
 // detect scans the visible lists of the primary outputs: a fault whose
 // machine drives a binary value different from a binary good value is
 // detected and dropped.
+//
+//simlint:hotpath
 func (s *Simulator) detect() {
 	// Pass 1: potential detections (good binary, faulty X). Recorded
 	// before any dropping this cycle so that PO processing order cannot
@@ -227,6 +233,8 @@ func (s *Simulator) scanDropAll() {
 // clock latches every flip-flop: good machine and all faulty machines.
 // Phase one computes every DFF's next state from the pre-clock values;
 // phase two commits, so FF-to-FF chains latch simultaneously.
+//
+//simlint:hotpath
 func (s *Simulator) clock() {
 	pendEvent := s.dffEvent
 

@@ -79,6 +79,8 @@ type eventSrc struct {
 
 // notify schedules the consumers of gate g after an output event (good or
 // any faulty machine).
+//
+//simlint:hotpath
 func (s *Simulator) notify(g netlist.GateID) {
 	for _, cs := range s.consumers[g] {
 		s.pinEvent[cs.root] |= 1 << uint(cs.pin)
@@ -86,6 +88,11 @@ func (s *Simulator) notify(g netlist.GateID) {
 	}
 }
 
+// scheduleRoot enqueues a macro root at its level, once per phase. The
+// level buckets keep their capacity across cycles, so the append below is
+// allocation-free in the steady state.
+//
+//simlint:hotpath
 func (s *Simulator) scheduleRoot(r netlist.GateID) {
 	if s.sched[r] {
 		return
@@ -108,6 +115,8 @@ func (s *Simulator) retrigger(r netlist.GateID) {
 // that had an event this phase (the multi-list traversal of [3]), and
 // (c) the faults sited inside the macro. Its own lists are rebuilt in
 // sorted order as the merge runs.
+//
+//simlint:hotpath
 func (s *Simulator) evalRoot(r netlist.GateID) {
 	s.sched[r] = false
 	mask := s.pinEvent[r]

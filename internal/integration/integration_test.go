@@ -14,12 +14,27 @@ import (
 	"repro/internal/faults"
 	"repro/internal/gen"
 	"repro/internal/logic"
+	"repro/internal/macro"
+	"repro/internal/netcheck"
 	"repro/internal/netlist"
 	"repro/internal/parallel"
 	"repro/internal/proofs"
 	"repro/internal/serial"
 	"repro/internal/vectors"
 )
+
+// checkModel runs the netcheck structural verifier over a circuit and
+// fault universe before they are simulated: a generator or collapser bug
+// should fail here, not as an unexplained detection mismatch downstream.
+func checkModel(t *testing.T, c *netlist.Circuit, u *faults.Universe) {
+	t.Helper()
+	if err := netcheck.AsError(netcheck.Check(c)); err != nil {
+		t.Fatalf("%s: %v", c.Name, err)
+	}
+	if err := netcheck.AsError(netcheck.CheckUniverse(u)); err != nil {
+		t.Fatalf("%s: %v", c.Name, err)
+	}
+}
 
 func genCircuit(t *testing.T, seed int64, pis, pos, ffs, gates int) *netlist.Circuit {
 	t.Helper()
@@ -76,6 +91,7 @@ func TestRandomCircuitsAllEnginesAgree(t *testing.T) {
 		for seed := int64(1); seed <= 3; seed++ {
 			c := genCircuit(t, seed*100+int64(si), shape.pis, shape.pos, shape.ffs, shape.gates)
 			u := faults.StuckCollapsed(c)
+			checkModel(t, c, u)
 			vs := vectors.Random(c, 80, seed)
 			oracle := serial.Simulate(u, vs)
 			for _, cf := range configs {
@@ -84,6 +100,9 @@ func TestRandomCircuitsAllEnginesAgree(t *testing.T) {
 					t.Fatal(err)
 				}
 				compare(t, fmt.Sprintf("%s/csim-%s", c.Name, cf.name), oracle, sim.Run(vs))
+				if err := sim.CheckInvariants(); err != nil {
+					t.Fatalf("%s/csim-%s: %v", c.Name, cf.name, err)
+				}
 			}
 			pr, err := proofs.New(u)
 			if err != nil {
@@ -193,6 +212,7 @@ func TestRandomCircuitsTransitionAgree(t *testing.T) {
 	for seed := int64(1); seed <= 4; seed++ {
 		c := genCircuit(t, 900+seed, 4, 3, 6, 60)
 		u := faults.Transition(c)
+		checkModel(t, c, u)
 		vs := vectors.Random(c, 100, seed)
 		oracle := serial.Simulate(u, vs)
 		for _, cfg := range []csim.Config{{}, csim.MV()} {
@@ -201,6 +221,50 @@ func TestRandomCircuitsTransitionAgree(t *testing.T) {
 				t.Fatal(err)
 			}
 			compare(t, fmt.Sprintf("%s/macros=%v", c.Name, cfg.Macros), oracle, sim.Run(vs))
+		}
+	}
+}
+
+// TestInvariantsEveryCycle steps the simulator one vector at a time and
+// audits the fault-list machinery between every pair of cycles — the
+// finest-grained use of the csim debug hook — plus the macro plan's
+// structure and FFR-maximality up front.
+func TestInvariantsEveryCycle(t *testing.T) {
+	configs := []struct {
+		name string
+		cfg  csim.Config
+	}{
+		{"plain", csim.Config{}},
+		{"V", csim.V()},
+		{"M", csim.M()},
+		{"MV", csim.MV()},
+		{"MV-reconv", csim.Config{SplitLists: true, Macros: true, ReconvergentMacros: true}},
+	}
+	for seed := int64(1); seed <= 2; seed++ {
+		c := genCircuit(t, 5200+seed, 5, 4, 8, 80)
+		u := faults.StuckCollapsed(c)
+		checkModel(t, c, u)
+		vs := vectors.Random(c, 60, seed)
+		for _, cf := range configs {
+			sim, err := csim.New(u, cf.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := netcheck.AsError(netcheck.CheckPlan(sim.Plan())); err != nil {
+				t.Fatalf("%s/%s: %v", c.Name, cf.name, err)
+			}
+			if cf.cfg.Macros {
+				ps := netcheck.CheckPlanMaximal(sim.Plan(), macro.DefaultMaxInputs, cf.cfg.ReconvergentMacros)
+				if err := netcheck.AsError(ps); err != nil {
+					t.Fatalf("%s/%s: %v", c.Name, cf.name, err)
+				}
+			}
+			for i, v := range vs.Vecs {
+				sim.Cycle(v)
+				if err := sim.CheckInvariants(); err != nil {
+					t.Fatalf("%s/%s after vector %d: %v", c.Name, cf.name, i, err)
+				}
+			}
 		}
 	}
 }

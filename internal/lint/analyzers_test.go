@@ -1,0 +1,36 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+func TestHotPathAlloc(t *testing.T) {
+	linttest.Run(t, lint.HotPathAlloc, "testdata/src/hotpath")
+}
+
+func TestMapRange(t *testing.T) {
+	linttest.Run(t, lint.MapRange, "testdata/src/maprange")
+}
+
+func TestAtomicDiscipline(t *testing.T) {
+	linttest.Run(t, lint.AtomicDiscipline, "testdata/src/atomicdiscipline")
+}
+
+func TestStatsTag(t *testing.T) {
+	linttest.Run(t, lint.StatsTag, "testdata/src/statstag")
+}
+
+func TestByName(t *testing.T) {
+	for _, a := range lint.All() {
+		got, ok := lint.ByName(a.Name)
+		if !ok || got != a {
+			t.Errorf("ByName(%q) = %v, %v; want %v", a.Name, got, ok, a)
+		}
+	}
+	if _, ok := lint.ByName("nosuch"); ok {
+		t.Error("ByName(nosuch) should not resolve")
+	}
+}

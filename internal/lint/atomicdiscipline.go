@@ -1,0 +1,238 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicDiscipline enforces two rules around sync/atomic, the layer the
+// observability registry's lock-free handles are built on:
+//
+//  1. Mixed access: a variable or struct field whose address is ever
+//     passed to a sync/atomic function must never be read or written
+//     plainly — a single plain access races against every atomic one.
+//  2. No copies: values of the typed atomics (atomic.Int64, atomic.Value,
+//     ...) and of structs containing them must not be copied; the copy
+//     shears off concurrent updates. (go vet's copylocks does not cover
+//     these: unlike sync.Mutex they embed no Lock method.)
+var AtomicDiscipline = &Analyzer{
+	Name: "atomicdiscipline",
+	Doc: `enforce consistent sync/atomic access
+
+Rule 1: any variable or field used with sync/atomic functions
+(atomic.AddInt64(&x, ...)) must be accessed through sync/atomic
+everywhere; plain reads and writes of the same location are reported.
+Composite-literal keys are exempt (zero-initialization before the value
+is shared is safe).
+
+Rule 2: values of sync/atomic handle types (atomic.Int64 & friends) and
+structs containing them (obs.Counter, obs.Gauge, obs.Histogram) must not
+be copied: by-value parameters, results, receivers, assignments from
+existing values, and by-value call arguments are reported.`,
+	Run: runAtomicDiscipline,
+}
+
+func runAtomicDiscipline(pass *Pass) error {
+	targets, sanctioned := atomicTargets(pass)
+	if len(targets) > 0 {
+		reportPlainAccess(pass, targets, sanctioned)
+	}
+	reportAtomicCopies(pass)
+	return nil
+}
+
+// atomicTargets collects the objects whose address is passed to a
+// sync/atomic function, plus the identifier nodes inside those sanctioned
+// argument expressions (and composite-literal keys, which initialize
+// rather than access).
+func atomicTargets(pass *Pass) (targets map[types.Object]bool, sanctioned map[*ast.Ident]bool) {
+	targets = map[types.Object]bool{}
+	sanctioned = map[*ast.Ident]bool{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				for _, el := range n.Elts {
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						if id, ok := kv.Key.(*ast.Ident); ok {
+							sanctioned[id] = true
+						}
+					}
+				}
+			case *ast.CallExpr:
+				if !isSyncAtomicCall(pass, n) {
+					return true
+				}
+				for _, arg := range n.Args {
+					un, ok := unparen(arg).(*ast.UnaryExpr)
+					if !ok || un.Op.String() != "&" {
+						continue
+					}
+					var id *ast.Ident
+					switch x := unparen(un.X).(type) {
+					case *ast.Ident:
+						id = x
+					case *ast.SelectorExpr:
+						id = x.Sel
+					}
+					if id == nil {
+						continue
+					}
+					if obj := pass.ObjectOf(id); obj != nil {
+						targets[obj] = true
+						sanctioned[id] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return targets, sanctioned
+}
+
+func isSyncAtomicCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	// Package functions only: method calls on typed atomics (v.Load())
+	// are the discipline, not a violation of it.
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return false
+	}
+	return fn.Pkg().Path() == "sync/atomic"
+}
+
+// reportPlainAccess flags every use of a target object outside a
+// sanctioned atomic-call argument.
+func reportPlainAccess(pass *Pass, targets map[types.Object]bool, sanctioned map[*ast.Ident]bool) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || sanctioned[id] {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil || !targets[obj] {
+				return true
+			}
+			pass.Reportf(id.Pos(),
+				"plain access to %s, which is accessed with sync/atomic elsewhere; use the atomic API everywhere",
+				id.Name)
+			return true
+		})
+	}
+}
+
+// reportAtomicCopies flags by-value movement of atomic-containing types.
+func reportAtomicCopies(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkFuncSig(pass, n.Recv, n.Type)
+			case *ast.FuncLit:
+				checkFuncSig(pass, nil, n.Type)
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					// Discarding into the blank identifier copies nothing.
+					if len(n.Lhs) == len(n.Rhs) {
+						if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+							continue
+						}
+					}
+					checkCopyExpr(pass, rhs)
+				}
+			case *ast.ValueSpec:
+				for _, v := range n.Values {
+					checkCopyExpr(pass, v)
+				}
+			case *ast.ReturnStmt:
+				for _, r := range n.Results {
+					checkCopyExpr(pass, r)
+				}
+			case *ast.CallExpr:
+				if tv, ok := pass.TypesInfo.Types[n.Fun]; ok && tv.IsType() {
+					return true // conversions re-type, the operand check suffices elsewhere
+				}
+				for _, arg := range n.Args {
+					checkCopyExpr(pass, arg)
+				}
+			case *ast.RangeStmt:
+				if n.Value == nil {
+					return true
+				}
+				if t := pass.TypeOf(n.Value); t != nil && containsAtomic(t, nil) {
+					pass.Reportf(n.Value.Pos(), "range copies %s values; iterate by index or over pointers", t)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func checkFuncSig(pass *Pass, recv *ast.FieldList, ft *ast.FuncType) {
+	check := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			t := pass.TypeOf(f.Type)
+			if t != nil && containsAtomic(t, nil) {
+				pass.Reportf(f.Type.Pos(), "%s passes %s by value; it contains sync/atomic state — use a pointer", what, t)
+			}
+		}
+	}
+	check(recv, "receiver")
+	check(ft.Params, "parameter")
+	check(ft.Results, "result")
+}
+
+// checkCopyExpr reports e when it reads an existing atomic-containing
+// value (identifiers, field selections, indexing, dereferences). Fresh
+// values — composite literals, function results — are legal to move once.
+func checkCopyExpr(pass *Pass, e ast.Expr) {
+	switch unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+	default:
+		return
+	}
+	t := pass.TypeOf(e)
+	if t == nil || !containsAtomic(t, nil) {
+		return
+	}
+	pass.Reportf(e.Pos(), "copy of %s, which contains sync/atomic state; use a pointer", t)
+}
+
+// containsAtomic reports whether t is (or contains, through struct fields
+// or array elements) one of sync/atomic's typed values. Pointers, slices,
+// maps and channels break containment: holding a reference is fine.
+func containsAtomic(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	if seen == nil {
+		seen = map[types.Type]bool{}
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		if obj := named.Obj(); obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" {
+			return true
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsAtomic(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsAtomic(u.Elem(), seen)
+	}
+	return false
+}

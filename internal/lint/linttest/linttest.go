@@ -1,0 +1,172 @@
+// Package linttest runs an analyzer over a testdata fixture package and
+// asserts its diagnostics against // want comments, in the style of
+// golang.org/x/tools/go/analysis/analysistest:
+//
+//	s.buf = make([]int, 4) // want `make allocates`
+//
+// Each backquoted (or double-quoted) string after // want is a regular
+// expression; the line must produce exactly one diagnostic matching each,
+// and every diagnostic must be claimed by a want. Fixtures live under
+// testdata/src/<name>/ and may import the module's own packages; the
+// shared Loader type-checks them from source.
+package linttest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+var (
+	loaderOnce sync.Once
+	loaderVal  *lint.Loader
+	loaderErr  error
+)
+
+// loader returns the process-wide fixture loader, rooted at the module
+// directory (found by walking up from the working directory to go.mod).
+func loader() (*lint.Loader, error) {
+	loaderOnce.Do(func() {
+		dir, err := os.Getwd()
+		if err != nil {
+			loaderErr = err
+			return
+		}
+		for {
+			if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+				break
+			}
+			parent := filepath.Dir(dir)
+			if parent == dir {
+				loaderErr = fmt.Errorf("linttest: no go.mod above working directory")
+				return
+			}
+			dir = parent
+		}
+		loaderVal = lint.NewLoader(dir)
+	})
+	return loaderVal, loaderErr
+}
+
+// expectation is one // want pattern awaiting a diagnostic.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// Run analyzes the fixture package at dir (e.g. "testdata/src/hotpath")
+// and matches diagnostics against its // want comments.
+func Run(t *testing.T, a *lint.Analyzer, dir string) {
+	t.Helper()
+	l, err := loader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.CheckDir(filepath.Base(abs), abs)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	wants := collectWants(t, pkg)
+	diags, err := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("%s: unexpected diagnostic: %s", filepath.Base(d.Pos.Filename), d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matched want %q", filepath.Base(w.file), w.line, w.re)
+		}
+	}
+}
+
+// claim marks the first unhit expectation on the diagnostic's line whose
+// pattern matches.
+func claim(wants []*expectation, d lint.Diagnostic) bool {
+	for _, w := range wants {
+		if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+			w.hit = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants extracts the // want expectations from every fixture file.
+func collectWants(t *testing.T, pkg *lint.Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue
+				}
+				text = strings.TrimSpace(text)
+				spec, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, pat := range splitWantPatterns(t, pos.String(), spec) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitWantPatterns parses the backquoted or double-quoted patterns of
+// one want spec.
+func splitWantPatterns(t *testing.T, pos, spec string) []string {
+	t.Helper()
+	var out []string
+	rest := strings.TrimSpace(spec)
+	for rest != "" {
+		switch rest[0] {
+		case '`':
+			end := strings.IndexByte(rest[1:], '`')
+			if end < 0 {
+				t.Fatalf("%s: unterminated want pattern %q", pos, rest)
+			}
+			out = append(out, rest[1:1+end])
+			rest = strings.TrimSpace(rest[end+2:])
+		case '"':
+			s, err := strconv.QuotedPrefix(rest)
+			if err != nil {
+				t.Fatalf("%s: bad want pattern %q: %v", pos, rest, err)
+			}
+			uq, _ := strconv.Unquote(s)
+			out = append(out, uq)
+			rest = strings.TrimSpace(rest[len(s):])
+		default:
+			t.Fatalf("%s: want patterns must be backquoted or quoted, got %q", pos, rest)
+		}
+	}
+	if len(out) == 0 {
+		t.Fatalf("%s: empty want spec", pos)
+	}
+	return out
+}

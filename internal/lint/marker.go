@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// The marker directives the analyzers key on. A marker is a comment line
+// of the form //simlint:<name> placed in (or directly forming) the doc
+// comment of a function or type declaration:
+//
+//	//simlint:hotpath
+//	func (s *Simulator) evalRoot(r netlist.GateID) { ... }
+//
+// Like go:build or go:generate directives, marker lines are stripped from
+// rendered documentation by gofmt/go doc, so they annotate without
+// polluting docs.
+const (
+	// MarkerHotPath declares a function to be on the per-cycle hot path:
+	// hotpathalloc forbids allocations and observability calls inside it,
+	// and maprange forbids map iteration.
+	MarkerHotPath = "simlint:hotpath"
+	// MarkerDeterministic declares that a function's behavior must not
+	// depend on iteration order (csim-P merge code); maprange forbids map
+	// iteration inside it.
+	MarkerDeterministic = "simlint:deterministic"
+	// MarkerStats declares a struct to be a tag-driven stats block even
+	// if no field is tagged yet; statstag then requires every field to
+	// carry a well-formed `obs` tag.
+	MarkerStats = "simlint:stats"
+)
+
+// hasMarker reports whether the comment group contains the given marker
+// directive as its own line.
+func hasMarker(doc *ast.CommentGroup, marker string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimPrefix(c.Text, "//")
+		if i := strings.IndexAny(text, " \t"); i >= 0 {
+			// Directives take no arguments; ignore trailing text so a
+			// stray "//simlint:hotpath because ..." still counts.
+			text = text[:i]
+		}
+		if strings.TrimSpace(text) == marker {
+			return true
+		}
+	}
+	return false
+}
+
+// unparen strips any number of enclosing parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

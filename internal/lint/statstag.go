@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"reflect"
+	"strings"
+)
+
+// StatsTag statically mirrors the runtime tag-table check in
+// internal/csim/stats.go: every field of a tag-driven stats struct must
+// carry a well-formed `obs:"name,kind,policy"` tag, because that one tag
+// table drives registration, publishing, snapshot read-back and — the
+// part that silently loses data when a tag is missing — partition
+// merging. (PR 2 fixed a MergeStats that dropped newly added fields; this
+// analyzer makes the regression impossible to compile in unnoticed.)
+var StatsTag = &Analyzer{
+	Name: "statstag",
+	Doc: `require complete, well-formed obs tags on stats structs
+
+A struct qualifies when any of its fields carries an ` + "`obs:\"...\"`" + ` tag,
+or when its declaration is marked //simlint:stats. Inside a qualifying
+struct every field must have:
+
+  - an obs tag of exactly three comma-separated parts: name,kind,policy;
+  - a non-empty metric name, unique within the struct;
+  - kind "counter" or "gauge";
+  - merge policy "sum" or "max";
+  - a plain integer field type (the generic publish/merge path reads
+    fields with reflect.Value.Int).`,
+	Run: runStatsTag,
+}
+
+func runStatsTag(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			marked := hasMarker(gd.Doc, MarkerStats)
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				if marked || hasMarker(ts.Doc, MarkerStats) || anyObsTag(st) {
+					checkStatsStruct(pass, ts.Name.Name, st)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func anyObsTag(st *ast.StructType) bool {
+	for _, f := range st.Fields.List {
+		if _, ok := obsTag(f); ok {
+			return true
+		}
+	}
+	return false
+}
+
+func obsTag(f *ast.Field) (string, bool) {
+	if f.Tag == nil {
+		return "", false
+	}
+	// Tag literal includes the quotes.
+	return reflect.StructTag(strings.Trim(f.Tag.Value, "`")).Lookup("obs")
+}
+
+func checkStatsStruct(pass *Pass, name string, st *ast.StructType) {
+	seen := map[string]bool{}
+	for _, f := range st.Fields.List {
+		fieldName := "(embedded)"
+		if len(f.Names) > 0 {
+			fieldName = f.Names[0].Name
+		}
+		tag, ok := obsTag(f)
+		if !ok {
+			pass.Reportf(f.Pos(),
+				"field %s of stats struct %s has no obs tag: it would be registered, published and merged as nothing (the MergeStats-drops-new-fields bug)",
+				fieldName, name)
+			continue
+		}
+		parts := strings.Split(tag, ",")
+		if len(parts) != 3 {
+			pass.Reportf(f.Pos(), "field %s: obs tag %q must be name,kind,policy", fieldName, tag)
+			continue
+		}
+		mname, kind, policy := parts[0], parts[1], parts[2]
+		if mname == "" {
+			pass.Reportf(f.Pos(), "field %s: obs tag has an empty metric name", fieldName)
+		} else if seen[mname] {
+			pass.Reportf(f.Pos(), "field %s: duplicate metric name %q in %s", fieldName, mname, name)
+		}
+		seen[mname] = true
+		if kind != "counter" && kind != "gauge" {
+			pass.Reportf(f.Pos(), "field %s: obs kind %q must be counter or gauge", fieldName, kind)
+		}
+		if policy != "sum" && policy != "max" {
+			pass.Reportf(f.Pos(), "field %s: obs merge policy %q must be sum or max", fieldName, policy)
+		}
+		if t := pass.TypeOf(f.Type); t != nil && !isPlainInt(t) {
+			pass.Reportf(f.Pos(), "field %s: type %s is not a plain integer; the generic publish/merge path requires one", fieldName, t)
+		}
+	}
+}
+
+func isPlainInt(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch b.Kind() {
+	case types.Int, types.Int8, types.Int16, types.Int32, types.Int64:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,64 @@
+// Package atomicdiscipline seeds violations of the atomicdiscipline
+// analyzer.
+package atomicdiscipline
+
+import "sync/atomic"
+
+type counters struct {
+	hits  int64
+	total int64
+}
+
+func (c *counters) add() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counters) bad() int64 {
+	c.hits++      // want `plain access to hits`
+	return c.hits // want `plain access to hits`
+}
+
+func (c *counters) good() int64 {
+	c.total++ // never touched atomically: plain access is fine
+	return atomic.LoadInt64(&c.hits)
+}
+
+func newCounters() *counters {
+	return &counters{hits: 0} // composite-literal init precedes sharing
+}
+
+var ops int64
+
+func bump() { atomic.AddInt64(&ops, 1) }
+
+func read() int64 { return ops } // want `plain access to ops`
+
+type handle struct {
+	n atomic.Int64
+}
+
+func snapshot(h handle) int64 { // want `parameter passes .*handle by value`
+	return 0
+}
+
+func give(h *handle) handle { // want `result passes .*handle by value`
+	return *h // want `copy of .*handle`
+}
+
+func caller(h *handle) {
+	dup := *h // want `copy of .*handle`
+	_ = dup
+	snapshot(*h) // want `copy of .*handle`
+}
+
+func sum(hs []handle) int64 {
+	var t int64
+	for i, h := range hs { // want `range copies .*handle values`
+		_ = h
+		t += hs[i].n.Load()
+	}
+	return t
+}
+
+// pointers and slices of handles move freely.
+func collect(hs []*handle) []*handle { return hs }

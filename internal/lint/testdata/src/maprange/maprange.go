@@ -1,0 +1,43 @@
+// Package maprange seeds violations of the maprange analyzer.
+package maprange
+
+var table = map[string]int{"a": 1}
+
+//simlint:hotpath
+func walk() int {
+	total := 0
+	for _, v := range table { // want `map iteration`
+		total += v
+	}
+	for i := range [4]int{} { // arrays are ordered: fine
+		total += i
+	}
+	return total
+}
+
+//simlint:deterministic
+func combine(parts map[string]int) int {
+	out := 0
+	for k := range parts { // want `map iteration`
+		out += len(k)
+	}
+	return out
+}
+
+// MergeCounts is covered by the Merge* naming rule alone.
+func MergeCounts(parts map[string]int) []string {
+	var keys []string
+	for k := range parts { // want `map iteration`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// unchecked functions may range maps.
+func unchecked(parts map[string]int) int {
+	n := 0
+	for range parts {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,30 @@
+// Package statstag seeds violations of the statstag analyzer.
+package statstag
+
+// Stats qualifies because fields carry obs tags; every field must then
+// have a complete, well-formed one.
+type Stats struct {
+	Evals   int     `obs:"evals,counter,sum"`
+	Skips   int     `obs:"skips,counter,sum"`
+	Peak    int     `obs:"peak,gauge,max"`
+	Dropped int     // want `has no obs tag`
+	Ratio   float64 `obs:"ratio,gauge,sum"` // want `not a plain integer`
+	Bad     int     `obs:"bad,histogram,sum"` // want `must be counter or gauge`
+	Bad2    int     `obs:"bad2,counter,avg"` // want `must be sum or max`
+	Bad3    int     `obs:"evals,counter,sum"` // want `duplicate metric name`
+	Bad4    int     `obs:"short,counter"` // want `must be name,kind,policy`
+	Bad5    int     `obs:",counter,sum"` // want `empty metric name`
+}
+
+// NotStats carries no obs tags and no marker: ignored entirely.
+type NotStats struct {
+	A int
+	B string
+}
+
+// Marked opts in explicitly even though nothing is tagged yet.
+//
+//simlint:stats
+type Marked struct {
+	N int // want `has no obs tag`
+}

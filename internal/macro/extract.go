@@ -158,15 +158,31 @@ func extract(c *netlist.Circuit, maxInputs int, reconvergent bool) (*Plan, error
 				p.ByRoot[i] = growMacro(c, netlist.GateID(i), maxInputs, isRoot, absorbed, reconvergent)
 			}
 		}
-		// Promote orphans (combinational, not absorbed, not rooted).
+		// Promote orphans (combinational, not absorbed, not rooted) — but
+		// only those whose consumers are all assigned already (absorbed, a
+		// root, or a DFF). Such a gate can never be absorbed later (its
+		// consumers span macros, or the leaf cap cut it), so rooting it is
+		// final; holding back the rest lets them be absorbed into the new
+		// roots' macros on the next pass, keeping macros maximal. The
+		// highest-level orphan always qualifies, so each pass progresses.
 		orphan := false
 		for i := range c.Gates {
 			g := &c.Gates[i]
 			if g.IsSource() || absorbed[i] || isRoot[i] {
 				continue
 			}
-			isRoot[i] = true
-			orphan = true
+			ready := true
+			for _, fo := range g.Fanout {
+				fog := c.Gate(fo)
+				if !fog.IsSource() && !absorbed[fo] && !isRoot[fo] {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				isRoot[i] = true
+				orphan = true
+			}
 		}
 		if !orphan {
 			break

@@ -1,0 +1,184 @@
+package netcheck
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/iscas"
+	"repro/internal/logic"
+	"repro/internal/macro"
+	"repro/internal/netlist"
+)
+
+// TestISCASSuiteClean sweeps every bundled benchmark: the circuits, the
+// fault universes over them, and all extraction plans must verify clean.
+func TestISCASSuiteClean(t *testing.T) {
+	for _, name := range iscas.Names() {
+		c := iscas.MustGet(name)
+		if err := AsError(Check(c)); err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		for _, u := range []*faults.Universe{
+			faults.StuckAll(c), faults.StuckCollapsed(c), faults.Transition(c),
+		} {
+			if err := AsError(CheckUniverse(u)); err != nil {
+				t.Errorf("%s: %v", name, err)
+			}
+		}
+		trivial := macro.Trivial(c)
+		if err := AsError(CheckPlan(trivial)); err != nil {
+			t.Errorf("%s trivial plan: %v", name, err)
+		}
+		for _, reconv := range []bool{false, true} {
+			var p *macro.Plan
+			var err error
+			if reconv {
+				p, err = macro.ExtractReconvergent(c, macro.DefaultMaxInputs)
+			} else {
+				p, err = macro.Extract(c, macro.DefaultMaxInputs)
+			}
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if err := AsError(CheckPlan(p)); err != nil {
+				t.Errorf("%s reconv=%v: %v", name, reconv, err)
+			}
+			if err := AsError(CheckPlanMaximal(p, macro.DefaultMaxInputs, reconv)); err != nil {
+				t.Errorf("%s reconv=%v: %v", name, reconv, err)
+			}
+		}
+	}
+}
+
+// chain builds the two-gate circuit i -> a(NOT) -> b(NOT) -> PO b.
+func chain(t *testing.T) *netlist.Circuit {
+	t.Helper()
+	c, err := netlist.NewBuilder("chain").
+		Input("i").
+		Gate("a", logic.OpNot, "i").
+		Gate("b", logic.OpNot, "a").
+		Output("b").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func wantProblem(t *testing.T, ps []Problem, check, substr string) {
+	t.Helper()
+	for _, p := range ps {
+		if p.Check == check && strings.Contains(p.Detail, substr) {
+			return
+		}
+	}
+	t.Errorf("no %q problem mentioning %q in %v", check, substr, ps)
+}
+
+func TestUndrivenGate(t *testing.T) {
+	c := chain(t)
+	c.Gates[c.MustByName("a")].Fanin = nil
+	wantProblem(t, Check(c), "undriven", "a")
+}
+
+func TestMultiplyDrivenInput(t *testing.T) {
+	c := chain(t)
+	i := c.MustByName("i")
+	c.Gates[i].Fanin = []netlist.GateID{c.MustByName("b")}
+	wantProblem(t, Check(c), "multiply-driven", "i")
+}
+
+func TestArityViolation(t *testing.T) {
+	c := chain(t)
+	a := c.MustByName("a")
+	c.Gates[a].Fanin = append(c.Gates[a].Fanin, c.MustByName("i"))
+	wantProblem(t, Check(c), "arity", "a")
+}
+
+func TestEdgeMirrorBreak(t *testing.T) {
+	c := chain(t)
+	i := c.MustByName("i")
+	c.Gates[i].Fanout = nil // a still lists i as fanin
+	wantProblem(t, Check(c), "edge-mirror", "i")
+}
+
+func TestIndexDrift(t *testing.T) {
+	c := chain(t)
+	c.PIs = nil
+	wantProblem(t, Check(c), "index", "i")
+}
+
+func TestCombLoop(t *testing.T) {
+	// Rewire a's fanin from i to b: a <- b <- a.
+	c := chain(t)
+	a, b, i := c.MustByName("a"), c.MustByName("b"), c.MustByName("i")
+	c.Gates[a].Fanin = []netlist.GateID{b}
+	c.Gates[b].Fanout = append(c.Gates[b].Fanout, a)
+	c.Gates[i].Fanout = nil
+	ps := Check(c)
+	wantProblem(t, ps, "comb-loop", "a")
+}
+
+func TestLevelViolations(t *testing.T) {
+	c := chain(t)
+	b := c.MustByName("b")
+	c.Gates[b].Level = 1 // same as its fanin a
+	ps := Check(c)
+	wantProblem(t, ps, "level", "b")
+
+	c2 := chain(t)
+	c2.MaxLevel = 9
+	wantProblem(t, Check(c2), "level", "MaxLevel")
+}
+
+func TestUniverseViolations(t *testing.T) {
+	c := chain(t)
+	u := faults.StuckAll(c)
+	u.Faults[3].ID = 99
+	wantProblem(t, CheckUniverse(u), "fault-id", "index 3")
+
+	u = faults.StuckAll(c)
+	u.Faults[0].Gate = 1000
+	wantProblem(t, CheckUniverse(u), "fault-site", "out-of-range")
+
+	u = faults.StuckAll(c)
+	u.Faults[2].Pin = 7
+	wantProblem(t, CheckUniverse(u), "fault-site", "pin 7")
+
+	u = faults.StuckAll(c)
+	u.Faults[1].Kind = faults.STR
+	u.Faults[1].Pin = faults.OutPin
+	wantProblem(t, CheckUniverse(u), "fault-kind", "output")
+
+	u = faults.StuckCollapsed(c)
+	u.Rep[0] = 1 << 20
+	wantProblem(t, CheckUniverse(u), "fault-rep", "Rep[0]")
+}
+
+func TestPlanViolations(t *testing.T) {
+	c := chain(t)
+	p, err := macro.Extract(c, macro.DefaultMaxInputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := AsError(CheckPlan(p)); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+	a := c.MustByName("a")
+	p.Owner[a] = a // a was absorbed into b's macro; claim it owns itself
+	wantProblem(t, CheckPlan(p), "plan-cover", "a")
+}
+
+// TestTrivialPlanNotMaximal: the Trivial plan on a chain keeps the two
+// NOT gates separate, which FFR extraction would merge — the maximality
+// check must say so (and must not be run on Trivial plans in anger).
+func TestTrivialPlanNotMaximal(t *testing.T) {
+	c := chain(t)
+	p := macro.Trivial(c)
+	if err := AsError(CheckPlan(p)); err != nil {
+		t.Fatalf("trivial plan structurally invalid: %v", err)
+	}
+	wantProblem(t, CheckPlanMaximal(p, macro.DefaultMaxInputs, false), "plan-maximal", "a")
+}

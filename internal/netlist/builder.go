@@ -1,6 +1,7 @@
 package netlist
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -73,7 +74,9 @@ func (b *Builder) DFF(name, d string) *Builder {
 	return b
 }
 
-func arityOK(op logic.Op, n int) bool {
+// ArityOK reports whether op accepts n fanins. Exposed for the netcheck
+// verifier, which re-validates circuits that bypassed the Builder.
+func ArityOK(op logic.Op, n int) bool {
 	switch op {
 	case logic.OpInput:
 		return n == 0
@@ -86,12 +89,12 @@ func arityOK(op logic.Op, n int) bool {
 	}
 }
 
-// Build resolves the netlist into a levelized Circuit. It returns the
-// first accumulated error, if any.
+// Build resolves the netlist into a levelized Circuit. Rather than
+// stopping at the first defect it validates the whole netlist and returns
+// every problem found, joined, so a malformed .bench file surfaces all of
+// its undefined-fanin and duplicate-definition sites in one pass.
 func (b *Builder) Build() (*Circuit, error) {
-	if len(b.errs) > 0 {
-		return nil, b.errs[0]
-	}
+	errs := append([]error(nil), b.errs...)
 	c := &Circuit{
 		Name:   b.name,
 		Gates:  make([]Gate, len(b.gates)),
@@ -102,17 +105,18 @@ func (b *Builder) Build() (*Circuit, error) {
 		c.byName[p.name] = GateID(i)
 	}
 	for i, p := range b.gates {
-		if !arityOK(p.op, len(p.fanin)) {
-			return nil, fmt.Errorf("netlist: gate %q (%v) has %d inputs", p.name, p.op, len(p.fanin))
+		if !ArityOK(p.op, len(p.fanin)) {
+			errs = append(errs, fmt.Errorf("netlist: gate %q (%v) has %d inputs", p.name, p.op, len(p.fanin)))
 		}
 		if len(p.fanin) > logic.MaxPins {
-			return nil, fmt.Errorf("netlist: gate %q has %d inputs; exceeds %d (run Decompose)",
-				p.name, len(p.fanin), logic.MaxPins)
+			errs = append(errs, fmt.Errorf("netlist: gate %q has %d inputs; exceeds %d (run Decompose)",
+				p.name, len(p.fanin), logic.MaxPins))
 		}
 		for _, fn := range p.fanin {
 			src, ok := c.byName[fn]
 			if !ok {
-				return nil, fmt.Errorf("netlist: gate %q references undriven signal %q", p.name, fn)
+				errs = append(errs, fmt.Errorf("netlist: gate %q references undriven signal %q", p.name, fn))
+				continue
 			}
 			c.Gates[i].Fanin = append(c.Gates[i].Fanin, src)
 			c.Gates[src].Fanout = append(c.Gates[src].Fanout, GateID(i))
@@ -128,7 +132,8 @@ func (b *Builder) Build() (*Circuit, error) {
 	for _, on := range b.outputs {
 		id, ok := c.byName[on]
 		if !ok {
-			return nil, fmt.Errorf("netlist: primary output %q is undriven", on)
+			errs = append(errs, fmt.Errorf("netlist: primary output %q is undriven", on))
+			continue
 		}
 		if seenPO[on] {
 			continue
@@ -136,6 +141,11 @@ func (b *Builder) Build() (*Circuit, error) {
 		seenPO[on] = true
 		c.POs = append(c.POs, id)
 		c.Gates[id].PO = true
+	}
+	// Levelizing a netlist with unresolved fanins would misattribute the
+	// holes as cycles, so stop here once anything is wrong.
+	if len(errs) > 0 {
+		return nil, errors.Join(errs...)
 	}
 	if err := c.levelize(); err != nil {
 		return nil, err

@@ -64,6 +64,8 @@ func (o Options) workers(n int) int {
 // and dealt round-robin, so every partition receives a similar mix of
 // shallow and deep fault sites — simulation cost tracks fault activity,
 // not fault count, and activity correlates with site depth.
+//
+//simlint:deterministic
 func Partition(u *faults.Universe, k int) [][]int32 {
 	order := make([]int32, len(u.Faults))
 	for i := range order {
