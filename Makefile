@@ -1,0 +1,38 @@
+# Convenience targets; everything is plain go commands underneath.
+
+.PHONY: build test race lint bench bench-gate baseline tables verify-tables
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+# simlint (vet-tool mode) + netcheck battery on one suite member.
+lint:
+	go build -o bin/simlint ./cmd/simlint
+	go vet -vettool=bin/simlint ./...
+	go run ./cmd/csim -suite s1494 -check
+
+# Full benchmark suite -> BENCH_<timestamp>.json (several minutes).
+bench:
+	go run ./cmd/bench -suite full
+
+# What CI runs: quick suite against the checked-in baseline.
+bench-gate:
+	go run ./cmd/bench -suite quick -baseline baselines/bench-quick.json
+
+# Refresh the checked-in quick-suite baseline (run on a quiet machine).
+baseline:
+	go run ./cmd/bench -suite quick -out baselines/bench-quick.json
+
+# Regenerate the committed tables artifact (slow: full circuit lists).
+tables:
+	go run ./cmd/tables > tables_output.txt
+
+# Drift check: regenerate and diff with volatile CPU/MEM cells masked.
+verify-tables:
+	go run ./cmd/tables -diff tables_output.txt

@@ -9,13 +9,24 @@
 //	tables -table 3   # one table
 //	tables -quick     # small-circuit subsets only
 //	tables -table 3 -metrics-out t3.json   # per-cell registry snapshots
+//	tables -diff tables_output.txt         # drift check (see below)
+//
+// The -diff mode regenerates the selected tables and compares them
+// against a previously captured output file, masking the volatile
+// CPU/MEM columns (two-decimal numbers) so only the deterministic
+// content — circuit statistics, fault counts, pattern counts,
+// coverages, table structure — must match. CI runs it against the
+// checked-in tables_output.txt so the file cannot silently go stale.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"regexp"
+	"strings"
 
 	"repro/internal/harness"
 )
@@ -63,13 +74,76 @@ func emit(w io.Writer, table int, quick bool, sink *harness.MetricsSink) error {
 	return nil
 }
 
+// volatileNum matches the CPU/MEM table cells: Seconds and Meg both
+// print two decimals, while the deterministic coverage columns print one
+// — so masking exactly the two-decimal numbers keeps coverage checked.
+var volatileNum = regexp.MustCompile(`\b\d+\.\d\d\b`)
+
+// maskVolatile replaces every CPU/MEM number with a fixed placeholder
+// and trims trailing space (column widths move with the numbers).
+func maskVolatile(text string) []string {
+	var out []string
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		out = append(out, strings.TrimRight(volatileNum.ReplaceAllString(sc.Text(), "#.##"), " "))
+	}
+	return out
+}
+
+// diffTables regenerates the selected tables and compares them, masked,
+// against the captured file; mismatching lines go to w.
+func diffTables(w io.Writer, path string, table int, quick bool) (ok bool, err error) {
+	want, err := os.ReadFile(path)
+	if err != nil {
+		return false, err
+	}
+	var buf strings.Builder
+	if err := emit(&buf, table, quick, nil); err != nil {
+		return false, err
+	}
+	got, exp := maskVolatile(buf.String()), maskVolatile(string(want))
+	ok = true
+	for i := 0; i < len(got) || i < len(exp); i++ {
+		var g, e string
+		if i < len(got) {
+			g = got[i]
+		}
+		if i < len(exp) {
+			e = exp[i]
+		}
+		if g != e {
+			if ok {
+				fmt.Fprintf(w, "tables: %s is stale (masked diff, line %d):\n", path, i+1)
+			}
+			ok = false
+			fmt.Fprintf(w, "  -%s\n  +%s\n", e, g)
+		}
+	}
+	return ok, nil
+}
+
 func main() {
 	var (
 		table      = flag.Int("table", 0, "table number (2-6); 0 = all")
 		quick      = flag.Bool("quick", false, "restrict to small circuits")
 		metricsOut = flag.String("metrics-out", "", "write per-cell metric snapshots (Table 3) to this JSON file")
+		diff       = flag.String("diff", "", "regenerate and compare against this captured output file (CPU/MEM columns masked); exit 1 on drift")
 	)
 	flag.Parse()
+
+	if *diff != "" {
+		ok, err := diffTables(os.Stderr, *diff, *table, *quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tables: %v\n", err)
+			os.Exit(1)
+		}
+		if !ok {
+			fmt.Fprintf(os.Stderr, "tables: regenerate with: go run ./cmd/tables > %s\n", *diff)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "tables: %s is up to date\n", *diff)
+		return
+	}
 
 	var sink *harness.MetricsSink
 	if *metricsOut != "" {

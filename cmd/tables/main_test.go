@@ -10,6 +10,65 @@ import (
 
 var update = flag.Bool("update", false, "rewrite golden files from current output")
 
+// TestMaskVolatile pins the drift-check masking: CPU/MEM cells (two
+// decimals) are replaced, coverage cells (one decimal) and integer
+// columns survive, and trailing space is trimmed.
+func TestMaskVolatile(t *testing.T) {
+	in := "s298   430  1.23   98.4   12.50  \nTotal  135.00 0.07\n"
+	got := maskVolatile(in)
+	want := []string{
+		"s298   430  #.##   98.4   #.##",
+		"Total  #.## #.##",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("maskVolatile returned %d lines, want %d: %q", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("line %d: got %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestDiffTablesQuick checks both directions of the drift gate on the
+// quick Table 2: a freshly captured file passes, a doctored one (changed
+// coverage cell) fails even though CPU/MEM columns are masked.
+func TestDiffTablesQuick(t *testing.T) {
+	var buf bytes.Buffer
+	if err := emit(&buf, 2, true, nil); err != nil {
+		t.Fatal(err)
+	}
+	fresh := filepath.Join(t.TempDir(), "fresh.txt")
+	if err := os.WriteFile(fresh, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var diag bytes.Buffer
+	ok, err := diffTables(&diag, fresh, 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Errorf("fresh capture reported stale:\n%s", diag.String())
+	}
+
+	doctored := bytes.Replace(buf.Bytes(), []byte("."), []byte("!"), 1)
+	if bytes.Equal(doctored, buf.Bytes()) {
+		t.Fatal("could not doctor the capture")
+	}
+	stale := filepath.Join(t.TempDir(), "stale.txt")
+	if err := os.WriteFile(stale, doctored, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	diag.Reset()
+	ok, err = diffTables(&diag, stale, 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("doctored capture passed the drift check")
+	}
+}
+
 // TestTable2QuickGolden pins the `tables -table 2 -quick` output: circuit
 // statistics, fault counts, deterministic pattern counts and coverage are
 // all seeded and platform-independent, so any drift means a refactor

@@ -1,0 +1,281 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"time"
+)
+
+// DefaultThreshold is the regression gate: a cell whose score grows by
+// more than this fraction over the baseline fails the comparison (the CI
+// bench-gate uses the default).
+const DefaultThreshold = 0.15
+
+// CompareOptions tunes a baseline comparison.
+type CompareOptions struct {
+	// Threshold is the per-cell relative slowdown that counts as a
+	// regression (0 means DefaultThreshold; e.g. 0.15 = +15%).
+	Threshold float64
+	// Absolute compares raw wall times instead of calibration-normalized
+	// scores. Only meaningful when both reports come from the same
+	// machine; the default normalized mode divides each cell's time by
+	// its report's calibration time so cross-machine baselines compare
+	// hardware-independently (to first order).
+	Absolute bool
+}
+
+func (o CompareOptions) threshold() float64 {
+	if o.Threshold <= 0 {
+		return DefaultThreshold
+	}
+	return o.Threshold
+}
+
+// PhaseDelta is one phase's wall time in the current and baseline run of
+// a cell — the pointer from "this cell regressed" to "this phase did it".
+type PhaseDelta struct {
+	// Name is the obs tracer span name ("fault-sim", "good-sim", ...).
+	Name string `json:"name"`
+	// BaseNs and CurNs are the phase wall times in the two runs.
+	BaseNs int64 `json:"base_ns"`
+	// CurNs is the phase wall time in the current run.
+	CurNs int64 `json:"cur_ns"`
+}
+
+// CellDelta is one cell's baseline comparison.
+type CellDelta struct {
+	// Key is the cell identity both reports share.
+	Key string `json:"key"`
+	// BaseNs and CurNs are the best wall times.
+	BaseNs int64 `json:"base_ns"`
+	// CurNs is the current run's best wall time.
+	CurNs int64 `json:"cur_ns"`
+	// BaseScore and CurScore are the compared quantities: raw seconds in
+	// absolute mode, multiples of the run's calibration time otherwise.
+	BaseScore float64 `json:"base_score"`
+	// CurScore is the current run's compared quantity.
+	CurScore float64 `json:"cur_score"`
+	// Delta is (CurScore - BaseScore) / BaseScore; +0.20 reads "20%
+	// slower than baseline".
+	Delta float64 `json:"delta"`
+	// Regressed marks Delta above the comparison threshold.
+	Regressed bool `json:"regressed"`
+	// BehaviorChanged marks a detection-count or coverage mismatch —
+	// never measurement noise, always a functional change.
+	BehaviorChanged bool `json:"behavior_changed,omitempty"`
+	// Phases breaks the cell down by tracer phase (sorted by name);
+	// populated for regressed cells.
+	Phases []PhaseDelta `json:"phases,omitempty"`
+}
+
+// Comparison is a full current-vs-baseline evaluation.
+type Comparison struct {
+	// Threshold is the effective per-cell regression threshold.
+	Threshold float64 `json:"threshold"`
+	// Absolute records the comparison mode.
+	Absolute bool `json:"absolute"`
+	// Cells holds one delta per key present in both reports, in current-
+	// report order.
+	Cells []CellDelta `json:"cells"`
+	// NewKeys lists cells only the current report has.
+	NewKeys []string `json:"new_keys,omitempty"`
+	// MissingKeys lists cells only the baseline has.
+	MissingKeys []string `json:"missing_keys,omitempty"`
+	// GeoMeanSpeedup is exp(mean(ln(base/cur))) over the shared cells:
+	// above 1 the run is faster than its baseline overall.
+	GeoMeanSpeedup float64 `json:"geo_mean_speedup"`
+}
+
+// score converts a cell wall time to the compared quantity.
+func score(ns, calibrationNs int64, absolute bool) float64 {
+	if absolute || calibrationNs <= 0 {
+		return float64(ns) / 1e9
+	}
+	return float64(ns) / float64(calibrationNs)
+}
+
+// Compare evaluates the current report against a baseline. Cells join on
+// Key; keys present on only one side are listed, not failed, so suites
+// can grow without invalidating old baselines.
+func Compare(cur, base *Report, opt CompareOptions) (*Comparison, error) {
+	if cur == nil || base == nil {
+		return nil, fmt.Errorf("bench: Compare needs two reports")
+	}
+	if !opt.Absolute && (cur.CalibrationNs <= 0 || base.CalibrationNs <= 0) {
+		return nil, fmt.Errorf("bench: normalized comparison needs calibration_ns in both reports (re-run, or use absolute mode)")
+	}
+	cmp := &Comparison{Threshold: opt.threshold(), Absolute: opt.Absolute}
+	baseKeys := map[string]bool{}
+	for _, b := range base.Cells {
+		baseKeys[b.Key] = true
+	}
+	logSum, logN := 0.0, 0
+	for _, c := range cur.Cells {
+		b, ok := base.Cell(c.Key)
+		if !ok {
+			cmp.NewKeys = append(cmp.NewKeys, c.Key)
+			continue
+		}
+		delete(baseKeys, c.Key)
+		d := CellDelta{
+			Key:       c.Key,
+			BaseNs:    b.BestNs,
+			CurNs:     c.BestNs,
+			BaseScore: score(b.BestNs, base.CalibrationNs, opt.Absolute),
+			CurScore:  score(c.BestNs, cur.CalibrationNs, opt.Absolute),
+		}
+		if d.BaseScore > 0 {
+			d.Delta = (d.CurScore - d.BaseScore) / d.BaseScore
+		}
+		d.Regressed = d.Delta > cmp.Threshold
+		d.BehaviorChanged = c.Detected != b.Detected || c.PotOnly != b.PotOnly ||
+			c.Patterns != b.Patterns || c.Faults != b.Faults
+		if d.Regressed {
+			d.Phases = phaseDeltas(b.PhasesNs, c.PhasesNs)
+		}
+		if d.BaseScore > 0 && d.CurScore > 0 {
+			logSum += math.Log(d.BaseScore / d.CurScore)
+			logN++
+		}
+		cmp.Cells = append(cmp.Cells, d)
+	}
+	for k := range baseKeys {
+		cmp.MissingKeys = append(cmp.MissingKeys, k)
+	}
+	sort.Strings(cmp.MissingKeys)
+	if logN > 0 {
+		cmp.GeoMeanSpeedup = math.Exp(logSum / float64(logN))
+	}
+	return cmp, nil
+}
+
+// phaseDeltas merges two phase maps into a sorted slice covering every
+// phase either run recorded.
+func phaseDeltas(base, cur map[string]int64) []PhaseDelta {
+	all := map[string]int64{}
+	for n, v := range base {
+		all[n] = v
+	}
+	for n := range cur {
+		if _, ok := all[n]; !ok {
+			all[n] = 0
+		}
+	}
+	out := make([]PhaseDelta, 0, len(all))
+	for _, n := range sortedPhaseNames(all) {
+		out = append(out, PhaseDelta{Name: n, BaseNs: base[n], CurNs: cur[n]})
+	}
+	return out
+}
+
+// Regressions returns the cells over threshold, worst first.
+func (c *Comparison) Regressions() []CellDelta {
+	var out []CellDelta
+	for _, d := range c.Cells {
+		if d.Regressed {
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Delta > out[j].Delta })
+	return out
+}
+
+// BehaviorChanges returns the cells whose detection counts, coverage
+// inputs or workload sizes differ from the baseline.
+func (c *Comparison) BehaviorChanges() []CellDelta {
+	var out []CellDelta
+	for _, d := range c.Cells {
+		if d.BehaviorChanged {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Gate returns a non-nil error when the comparison should fail CI: any
+// cell regressed past threshold, or any cell's deterministic outputs
+// (detections, workload sizes) changed against the baseline.
+func (c *Comparison) Gate() error {
+	regs := c.Regressions()
+	beh := c.BehaviorChanges()
+	if len(regs) == 0 && len(beh) == 0 {
+		return nil
+	}
+	msg := ""
+	if len(regs) > 0 {
+		msg = fmt.Sprintf("%d cell(s) regressed past %.0f%% (worst: %s %+.1f%%)",
+			len(regs), 100*c.Threshold, regs[0].Key, 100*regs[0].Delta)
+	}
+	if len(beh) > 0 {
+		if msg != "" {
+			msg += "; "
+		}
+		msg += fmt.Sprintf("%d cell(s) changed behavior vs baseline (first: %s)",
+			len(beh), beh[0].Key)
+	}
+	return fmt.Errorf("bench: %s", msg)
+}
+
+// WriteMarkdown renders the comparison as the regression report: a
+// summary line, the per-cell table, and a per-phase breakdown for every
+// regressed cell.
+func (c *Comparison) WriteMarkdown(w io.Writer) error {
+	mode := "calibration-normalized"
+	if c.Absolute {
+		mode = "absolute wall time"
+	}
+	fmt.Fprintf(w, "# Benchmark comparison (%s, threshold %.0f%%)\n\n", mode, 100*c.Threshold)
+	regs := c.Regressions()
+	beh := c.BehaviorChanges()
+	switch {
+	case len(regs) == 0 && len(beh) == 0:
+		fmt.Fprintf(w, "**PASS** — geo-mean speedup vs baseline: **%.3f×** over %d cells\n\n",
+			c.GeoMeanSpeedup, len(c.Cells))
+	default:
+		fmt.Fprintf(w, "**FAIL** — %d regression(s), %d behavior change(s); geo-mean speedup %.3f×\n\n",
+			len(regs), len(beh), c.GeoMeanSpeedup)
+	}
+	fmt.Fprintln(w, "| cell | base | current | Δ | status |")
+	fmt.Fprintln(w, "|---|---:|---:|---:|---|")
+	for _, d := range c.Cells {
+		status := "ok"
+		switch {
+		case d.BehaviorChanged && d.Regressed:
+			status = "**REGRESSED, BEHAVIOR CHANGED**"
+		case d.BehaviorChanged:
+			status = "**BEHAVIOR CHANGED**"
+		case d.Regressed:
+			status = "**REGRESSED**"
+		case d.Delta < -0.05:
+			status = "improved"
+		}
+		fmt.Fprintf(w, "| %s | %s | %s | %+.1f%% | %s |\n",
+			d.Key, time.Duration(d.BaseNs).Round(time.Microsecond),
+			time.Duration(d.CurNs).Round(time.Microsecond), 100*d.Delta, status)
+	}
+	fmt.Fprintln(w)
+	for _, d := range regs {
+		fmt.Fprintf(w, "## %s — phase breakdown\n\n", d.Key)
+		fmt.Fprintln(w, "| phase | base | current | Δ |")
+		fmt.Fprintln(w, "|---|---:|---:|---:|")
+		for _, p := range d.Phases {
+			delta := "n/a"
+			if p.BaseNs > 0 {
+				delta = fmt.Sprintf("%+.1f%%", 100*float64(p.CurNs-p.BaseNs)/float64(p.BaseNs))
+			}
+			fmt.Fprintf(w, "| %s | %s | %s | %s |\n",
+				p.Name, time.Duration(p.BaseNs).Round(time.Microsecond),
+				time.Duration(p.CurNs).Round(time.Microsecond), delta)
+		}
+		fmt.Fprintln(w)
+	}
+	if len(c.NewKeys) > 0 {
+		fmt.Fprintf(w, "New cells (no baseline): %d\n\n", len(c.NewKeys))
+	}
+	if len(c.MissingKeys) > 0 {
+		fmt.Fprintf(w, "Baseline cells missing from this run: %d\n\n", len(c.MissingKeys))
+	}
+	return nil
+}

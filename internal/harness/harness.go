@@ -16,6 +16,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/proofs"
+	"repro/internal/serial"
 	"repro/internal/vectors"
 )
 
@@ -35,8 +36,13 @@ const (
 	CsimReconv Engine = "csim-MV-reconvergent"
 	// CsimP is the fault-partition parallel engine: csim-MV sharded over
 	// worker goroutines replaying a shared good-machine trace.
-	CsimP  Engine = "csim-P"
+	CsimP Engine = "csim-P"
+	// PROOFS is the bit-parallel single-fault-propagation baseline.
 	PROOFS Engine = "PROOFS"
+	// Serial is the brute-force oracle: one full resimulation per fault.
+	// It is orders of magnitude slower than every other engine and exists
+	// as the ground-truth throughput floor in benchmark reports.
+	Serial Engine = "serial"
 )
 
 // Config returns the csim configuration for a csim engine.
@@ -63,16 +69,26 @@ func (e Engine) Config() csim.Config {
 
 // Measurement is one table cell group: an engine run on one workload.
 type Measurement struct {
-	Engine   Engine
-	Circuit  string
+	// Engine is the measured simulator configuration.
+	Engine Engine
+	// Circuit is the workload circuit's name.
+	Circuit string
+	// Patterns is the applied test-vector count.
 	Patterns int
-	Faults   int
+	// Faults is the fault-universe size.
+	Faults int
+	// Detected is the hard-detection count.
 	Detected int
-	PotOnly  int // potentially-but-never-hard detected
+	// PotOnly counts potentially-but-never-hard detected faults.
+	PotOnly int
+	// Coverage is hard coverage in [0,1].
 	Coverage float64
-	CPU      time.Duration
-	MemBytes int64 // accounted fault-structure memory at peak
-	Workers  int   // goroutine count (csim-P only; 0 otherwise)
+	// CPU is the measured wall time of the run.
+	CPU time.Duration
+	// MemBytes is the accounted fault-structure memory at peak.
+	MemBytes int64
+	// Workers is the goroutine count (csim-P only; 0 otherwise).
+	Workers int
 }
 
 // FltCvg returns hard coverage in percent.
@@ -106,6 +122,10 @@ func RunObserved(engine Engine, u *faults.Universe, vs *vectors.Set, ob *obs.Obs
 	switch engine {
 	case CsimP:
 		return RunParallelObserved(u, vs, 0, ob)
+	case Serial:
+		sp := ob.Span("fault-sim")
+		res = serial.Simulate(u, vs)
+		sp.End()
 	case PROOFS:
 		sim, err := proofs.New(u)
 		if err != nil {
@@ -180,7 +200,9 @@ func RunParallelObserved(u *faults.Universe, vs *vectors.Set, workers int, ob *o
 
 // NamedSnapshot is one table cell's registry snapshot.
 type NamedSnapshot struct {
-	Name    string      `json:"name"` // "circuit/engine"
+	// Name identifies the cell as "circuit/engine".
+	Name string `json:"name"`
+	// Metrics is the cell's full registry snapshot.
 	Metrics []obs.Point `json:"metrics"`
 }
 
@@ -224,9 +246,13 @@ func (s *MetricsSink) WriteJSON(w io.Writer) error {
 
 // Table renders rows of measurements as an aligned text table.
 type Table struct {
-	Title   string
-	Header  []string
-	Rows    [][]string
+	// Title prints above the header.
+	Title string
+	// Header is the column-name row.
+	Header []string
+	// Rows are the body cells, one slice per row.
+	Rows [][]string
+	// Caption prints below the body.
 	Caption string
 }
 

@@ -23,6 +23,10 @@ func TestStatsTag(t *testing.T) {
 	linttest.Run(t, lint.StatsTag, "testdata/src/statstag")
 }
 
+func TestExportDoc(t *testing.T) {
+	linttest.Run(t, lint.ExportDoc, "testdata/src/exportdoc")
+}
+
 func TestByName(t *testing.T) {
 	for _, a := range lint.All() {
 		got, ok := lint.ByName(a.Name)

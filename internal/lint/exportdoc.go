@@ -1,0 +1,158 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// exportDocPackages is the documented-surface scope: the packages whose
+// exported identifiers form the API that README/BENCHMARKS.md point
+// users at, and must therefore all carry doc comments. "exportdoc" is
+// the analyzer's own test fixture.
+var exportDocPackages = map[string]bool{
+	"repro":                  true, // the faultsim facade
+	"repro/internal/bench":   true,
+	"repro/internal/harness": true,
+	"repro/internal/obs":     true,
+	"exportdoc":              true, // testdata fixture
+}
+
+// ExportDoc requires a doc comment on every exported identifier of the
+// documented-surface packages.
+var ExportDoc = &Analyzer{
+	Name: "exportdoc",
+	Doc: `require doc comments on all exported identifiers of surface packages
+
+Scoped to the packages that form the documented API (the faultsim root
+package, internal/bench, internal/harness, internal/obs). Within them,
+every exported top-level function, type, variable and constant, every
+method with an exported name on an exported type, every exported field
+of an exported struct, and every method of an exported interface needs
+a doc comment in the godoc convention: a comment group immediately
+above the declaration. Grouped const/var declarations may share the
+group's doc comment; trailing same-line comments do not count.`,
+	Run: runExportDoc,
+}
+
+func runExportDoc(pass *Pass) error {
+	if !exportDocPackages[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				checkFuncDoc(pass, d)
+			case *ast.GenDecl:
+				checkGenDoc(pass, d)
+			}
+		}
+	}
+	return nil
+}
+
+// checkFuncDoc reports exported functions, and exported methods on
+// exported receiver types, that lack a doc comment.
+func checkFuncDoc(pass *Pass, fn *ast.FuncDecl) {
+	if !fn.Name.IsExported() || hasDoc(fn.Doc) {
+		return
+	}
+	kind := "function"
+	if fn.Recv != nil {
+		recv := receiverTypeName(fn.Recv)
+		if recv == "" || !token.IsExported(recv) {
+			return // method on an unexported type: not API surface
+		}
+		kind = "method"
+	}
+	pass.Reportf(fn.Name.Pos(), "exported %s %s is missing a doc comment", kind, fn.Name.Name)
+}
+
+// checkGenDoc reports undocumented exported names in a type/var/const
+// declaration, and recurses into exported struct and interface types.
+func checkGenDoc(pass *Pass, d *ast.GenDecl) {
+	groupDoc := hasDoc(d.Doc)
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if !s.Name.IsExported() {
+				continue
+			}
+			// A single-type declaration hangs its doc on the GenDecl; in
+			// a parenthesized group every type needs its own doc.
+			if !hasDoc(s.Doc) && (d.Lparen.IsValid() || !groupDoc) {
+				pass.Reportf(s.Name.Pos(), "exported type %s is missing a doc comment", s.Name.Name)
+			}
+			switch t := s.Type.(type) {
+			case *ast.StructType:
+				checkFieldDocs(pass, s.Name.Name, t.Fields, "field")
+			case *ast.InterfaceType:
+				checkFieldDocs(pass, s.Name.Name, t.Methods, "interface method")
+			}
+		case *ast.ValueSpec:
+			for _, name := range s.Names {
+				if !name.IsExported() {
+					continue
+				}
+				// Grouped const/var blocks may document the group once;
+				// otherwise each exported spec needs its own doc.
+				if groupDoc || hasDoc(s.Doc) {
+					continue
+				}
+				what := "variable"
+				if d.Tok == token.CONST {
+					what = "constant"
+				}
+				pass.Reportf(name.Pos(), "exported %s %s is missing a doc comment", what, name.Name)
+			}
+		}
+	}
+}
+
+// checkFieldDocs reports undocumented exported fields (or interface
+// methods) of an exported type. Each field needs its own preceding doc
+// comment: a doc group introducing several fields only covers the field
+// it is attached to, so the rest must carry their own.
+func checkFieldDocs(pass *Pass, typeName string, fields *ast.FieldList, what string) {
+	if fields == nil {
+		return
+	}
+	for _, f := range fields.List {
+		if hasDoc(f.Doc) {
+			continue
+		}
+		for _, name := range f.Names {
+			if !name.IsExported() {
+				continue
+			}
+			pass.Reportf(name.Pos(), "exported %s %s.%s is missing a doc comment", what, typeName, name.Name)
+		}
+	}
+}
+
+// receiverTypeName unwraps a method receiver to its type identifier.
+func receiverTypeName(recv *ast.FieldList) string {
+	if recv == nil || len(recv.List) == 0 {
+		return ""
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver T[P]
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// hasDoc reports whether a comment group carries any documentation text.
+// CommentGroup.Text strips directives (//go:..., //simlint:...), so a
+// group holding only a directive does not count as documentation.
+func hasDoc(cg *ast.CommentGroup) bool { return cg != nil && cg.Text() != "" }

@@ -1,0 +1,78 @@
+// Package exportdoc seeds violations of the exportdoc analyzer. The
+// fixture's package path is in the analyzer's scope list; a package
+// outside that list would produce no diagnostics at all.
+package exportdoc
+
+// Documented is fine.
+type Documented struct {
+	// Field carries a doc comment.
+	Field int
+	Naked int // want `exported field Documented.Naked is missing a doc comment`
+
+	// unexported fields need nothing.
+	hidden int
+}
+
+type Undocumented struct{} // want `exported type Undocumented is missing a doc comment`
+
+// Iface is documented.
+type Iface interface {
+	// Done is documented.
+	Done() bool
+	Missing() int // want `exported interface method Iface.Missing is missing a doc comment`
+}
+
+// Grouped type specs need per-spec docs.
+type (
+	// Pair is documented.
+	Pair struct{}
+	Solo struct{} // want `exported type Solo is missing a doc comment`
+)
+
+// Good has a doc comment.
+func Good() {}
+
+func Bad() {} // want `exported function Bad is missing a doc comment`
+
+// A bare directive is not documentation.
+//
+//simlint:hotpath
+func directivePrelude() {}
+
+//simlint:deterministic
+func DirectiveOnly() {} // want `exported function DirectiveOnly is missing a doc comment`
+
+func internalOnly() {}
+
+// OK is a documented method on an exported type.
+func (Documented) OK() {}
+
+func (d *Documented) NoDoc() {} // want `exported method NoDoc is missing a doc comment`
+
+type unexported struct{}
+
+// Exported methods on unexported types are not API surface.
+func (unexported) Exported() {}
+
+// Grouped constants may share the group doc.
+const (
+	A = 1
+	B = 2
+)
+
+const C = 3 // want `exported constant C is missing a doc comment`
+
+// D is documented.
+const D = 4
+
+var E = 5 // want `exported variable E is missing a doc comment`
+
+// Vars with a group doc are fine.
+var (
+	F = 6
+	G = 7
+)
+
+var _ = internalOnly
+var _ = directivePrelude
+var _ = unexported{}

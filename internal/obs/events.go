@@ -49,14 +49,16 @@ func (k FaultEventKind) String() string {
 	return fmt.Sprintf("fault-event(%d)", k)
 }
 
-// FaultEvent is one lifecycle observation. Gate is the netlist gate (or
-// macro root) where the event occurred; Vec is the vector index, -1 for
-// construction-time events.
+// FaultEvent is one lifecycle observation.
 type FaultEvent struct {
-	Vec   int32          `json:"vec"`
-	Fault int32          `json:"fault"`
-	Gate  int32          `json:"gate"`
-	Kind  FaultEventKind `json:"-"`
+	// Vec is the vector index; -1 for construction-time events.
+	Vec int32 `json:"vec"`
+	// Fault is the fault ID the event concerns.
+	Fault int32 `json:"fault"`
+	// Gate is the netlist gate (or macro root) where the event occurred.
+	Gate int32 `json:"gate"`
+	// Kind classifies the lifecycle transition.
+	Kind FaultEventKind `json:"-"`
 }
 
 // MarshalJSON spells the kind symbolically.

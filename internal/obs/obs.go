@@ -287,15 +287,21 @@ func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
 
 // Point is one metric in a snapshot.
 type Point struct {
-	Name  string `json:"name"`
-	Kind  string `json:"kind"`
-	Value int64  `json:"value,omitempty"` // counter/gauge value
+	// Name is the registered metric name.
+	Name string `json:"name"`
+	// Kind is the metric kind's snapshot spelling.
+	Kind string `json:"kind"`
+	// Value is the counter or gauge value.
+	Value int64 `json:"value,omitempty"`
 
-	// Histogram-only fields.
-	Count   int64   `json:"count,omitempty"`
-	Sum     int64   `json:"sum,omitempty"`
-	Bounds  []int64 `json:"bounds,omitempty"`
-	Buckets []int64 `json:"buckets,omitempty"` // len(Bounds)+1, last = overflow
+	// Count is the histogram observation count.
+	Count int64 `json:"count,omitempty"`
+	// Sum is the histogram's observed-value sum.
+	Sum int64 `json:"sum,omitempty"`
+	// Bounds are the histogram's ascending bucket bounds.
+	Bounds []int64 `json:"bounds,omitempty"`
+	// Buckets are the per-bucket counts: len(Bounds)+1, last = overflow.
+	Buckets []int64 `json:"buckets,omitempty"`
 }
 
 // Snapshot returns the current value of every metric, sorted by name. A
@@ -350,9 +356,12 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 // A nil *Observer — and any nil field of a non-nil one — disables that
 // aspect with the zero-cost fast path.
 type Observer struct {
+	// Metrics receives counter/gauge/histogram updates.
 	Metrics *Registry
-	Tracer  *Tracer
-	Faults  *FaultLog
+	// Tracer records span-style phase timings.
+	Tracer *Tracer
+	// Faults records per-fault lifecycle events.
+	Faults *FaultLog
 }
 
 // Registry returns the metric registry (nil when disabled).
