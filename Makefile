@@ -36,3 +36,14 @@ tables:
 # Drift check: regenerate and diff with volatile CPU/MEM cells masked.
 verify-tables:
 	go run ./cmd/tables -diff tables_output.txt
+
+# Run the fault-simulation service locally (see README "Serving").
+.PHONY: serve serve-load
+serve:
+	go run ./cmd/csimd -addr :8416
+
+# Drive a running csimd with the CI smoke load (serve in another shell).
+serve-load:
+	go run ./cmd/csimload -addr http://127.0.0.1:8416 \
+	    -clients 32 -jobs 2 -circuit s5378 -random 100 -seed 1 \
+	    -expect-detections 4505 -min-cache-hit 0.9

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/bench"
@@ -41,6 +42,9 @@ func main() {
 	)
 	flag.Parse()
 
+	if err := validateSuite(*suite); err != nil {
+		fatal(err)
+	}
 	cells, err := bench.Suite(*suite)
 	if err != nil {
 		fatal(err)
@@ -104,6 +108,17 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "bench: gate passed (geo-mean speedup %.3fx over %d cells)\n",
 		cmp.GeoMeanSpeedup, len(cmp.Cells))
+}
+
+// validateSuite rejects unknown -suite names with a one-line usage hint
+// listing the accepted suites.
+func validateSuite(name string) error {
+	for _, s := range bench.SuiteNames() {
+		if s == name {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown suite %q; usage: -suite %s", name, strings.Join(bench.SuiteNames(), "|"))
 }
 
 // emitMarkdown writes via render to path when path is non-empty.

@@ -1,0 +1,30 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// TestValidateSuite pins the -suite validation: every real suite is
+// accepted, anything else is rejected with a one-line hint listing them.
+func TestValidateSuite(t *testing.T) {
+	for _, s := range bench.SuiteNames() {
+		if err := validateSuite(s); err != nil {
+			t.Errorf("suite %q rejected: %v", s, err)
+		}
+	}
+	err := validateSuite("nosuch")
+	if err == nil {
+		t.Fatal("unknown suite accepted")
+	}
+	for _, want := range append([]string{"usage: -suite"}, bench.SuiteNames()...) {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q lacks %q", err, want)
+		}
+	}
+	if strings.Count(err.Error(), "\n") != 0 {
+		t.Errorf("hint is not one line: %q", err)
+	}
+}

@@ -63,6 +63,12 @@ func main() {
 	)
 	flag.Parse()
 
+	// Reject unknown names up front with a hint listing the accepted
+	// values, instead of failing deep inside engine setup.
+	if err := validateSelections(*engine, *model, *suite); err != nil {
+		fatal(err)
+	}
+
 	// Any observability flag switches the layer on; without them every
 	// probe stays on the nil fast path.
 	var ob *obs.Observer
@@ -325,6 +331,38 @@ func runCheck(c *netlist.Circuit, model string) error {
 	fmt.Printf("check:     %s OK (%d PI, %d PO, %d FF, %d gates; %d faults [%s]; %d plans verified)\n",
 		c.Name, st.PIs, st.POs, st.DFFs, st.Gates, u.NumFaults(), model, plans)
 	return nil
+}
+
+// engineNames and modelNames are the accepted -engine and -faults
+// values, in the spelling the flags document.
+var (
+	engineNames = []string{"csim", "csim-V", "csim-M", "csim-MV",
+		"csim-MV-eagerdrop", "csim-MV-reconvergent", "csim-P", "PROOFS", "serial"}
+	modelNames = []string{"stuck", "stuck-all", "transition"}
+)
+
+// validateSelections rejects unknown -engine/-faults/-suite values with
+// a one-line usage hint listing the accepted names.
+func validateSelections(engine, model, suite string) error {
+	if !containsName(engineNames, engine) {
+		return fmt.Errorf("unknown engine %q; usage: -engine %s", engine, strings.Join(engineNames, "|"))
+	}
+	if !containsName(modelNames, model) {
+		return fmt.Errorf("unknown fault model %q; usage: -faults %s", model, strings.Join(modelNames, "|"))
+	}
+	if suite != "" && !containsName(iscas.Names(), suite) {
+		return fmt.Errorf("unknown suite circuit %q; usage: -suite %s", suite, strings.Join(iscas.Names(), "|"))
+	}
+	return nil
+}
+
+func containsName(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
 }
 
 func loadCircuit(file, suite string) (*netlist.Circuit, error) {

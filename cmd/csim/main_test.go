@@ -1,0 +1,44 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestValidateSelections pins the up-front flag validation: unknown
+// -engine/-faults/-suite names are rejected with a one-line hint that
+// lists the accepted values, and every accepted value passes.
+func TestValidateSelections(t *testing.T) {
+	for _, eng := range engineNames {
+		if err := validateSelections(eng, "stuck", "s27"); err != nil {
+			t.Errorf("engine %q rejected: %v", eng, err)
+		}
+	}
+	for _, model := range modelNames {
+		if err := validateSelections("csim-MV", model, ""); err != nil {
+			t.Errorf("model %q rejected: %v", model, err)
+		}
+	}
+	cases := []struct {
+		name                 string
+		engine, model, suite string
+		wantIn               string
+	}{
+		{"unknown engine", "csim-X", "stuck", "", "usage: -engine"},
+		{"unknown model", "csim-MV", "bridging", "", "usage: -faults"},
+		{"unknown suite", "csim-MV", "stuck", "s999999", "usage: -suite"},
+	}
+	for _, tc := range cases {
+		err := validateSelections(tc.engine, tc.model, tc.suite)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantIn) {
+			t.Errorf("%s: error %q lacks hint %q", tc.name, err, tc.wantIn)
+		}
+		if strings.Count(err.Error(), "\n") != 0 {
+			t.Errorf("%s: hint is not one line: %q", tc.name, err)
+		}
+	}
+}

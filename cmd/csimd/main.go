@@ -1,0 +1,127 @@
+// Command csimd serves fault simulation over HTTP/JSON: a bounded job
+// queue in front of a worker pool over the repository's engines, with a
+// compiled-circuit cache and the observability endpoints.
+//
+// Usage:
+//
+//	csimd -addr :8416 -workers 8 -queue 256
+//
+// Endpoints:
+//
+//	POST   /api/v1/jobs      submit a job (JSON JobSpec); 429 + Retry-After when full
+//	GET    /api/v1/jobs      list jobs
+//	GET    /api/v1/jobs/{id} job status + result
+//	DELETE /api/v1/jobs/{id} cancel (frees a queued job's slot immediately)
+//	GET    /healthz          liveness
+//	GET    /readyz           readiness (503 while draining)
+//	GET    /metricsz         metric registry snapshot (also /debug/vars, /debug/pprof)
+//
+// SIGINT/SIGTERM starts a graceful drain: admissions stop, queued and
+// running jobs finish (bounded by -drain-timeout), then the process
+// exits 0. See DESIGN.md §10 and the README "Serving" section.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8416", "listen address")
+		workers      = flag.Int("workers", runtime.NumCPU(), "simulation worker-pool size")
+		queue        = flag.Int("queue", 256, "admission queue depth (full queue answers 429)")
+		cacheSize    = flag.Int("cache", 64, "compiled-circuit cache capacity (circuits)")
+		maxInline    = flag.Int64("max-inline", 4<<20, "inline netlist/vector size bound in bytes (oversized answers 413)")
+		jobTimeout   = flag.Duration("job-timeout", 5*time.Minute, "default per-job run-time bound")
+		maxTimeout   = flag.Duration("max-job-timeout", 30*time.Minute, "cap on spec-requested per-job timeouts")
+		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "bound on the graceful drain after SIGTERM")
+		retained     = flag.Int("retained", 8192, "finished jobs kept for polling before eviction")
+		traceOut     = flag.String("trace-out", "", "write a chrome://tracing phase trace (JSON) on exit")
+	)
+	flag.Parse()
+
+	// Metrics are always on — the service exists to serve them. The
+	// tracer is unbounded, so it is attached only when a trace file was
+	// asked for.
+	reg := obs.NewRegistry()
+	ob := &obs.Observer{Metrics: reg}
+	var tr *obs.Tracer
+	if *traceOut != "" {
+		tr = obs.NewTracer(reg)
+		ob.Tracer = tr
+	}
+	obs.PublishExpvar("csimd", reg)
+
+	srv := service.New(service.Config{
+		Addr:           *addr,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheSize:      *cacheSize,
+		MaxInlineBytes: *maxInline,
+		DefaultTimeout: *jobTimeout,
+		MaxTimeout:     *maxTimeout,
+		Retained:       *retained,
+		Obs:            ob,
+	})
+	if err := srv.Start(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("csimd:     serving http://%s/api/v1/jobs (%d workers, queue %d, cache %d)\n",
+		srv.Addr(), *workers, *queue, *cacheSize)
+
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	sig := <-ch
+	fmt.Printf("csimd:     %s received; draining (bound %s)\n", sig, *drainTimeout)
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "csimd: drain incomplete: %v\n", err)
+		writeTrace(*traceOut, tr)
+		os.Exit(1)
+	}
+	fmt.Println("csimd:     drained cleanly")
+	writeTrace(*traceOut, tr)
+}
+
+// writeTrace dumps the phase trace if one was recorded.
+func writeTrace(path string, tr *obs.Tracer) {
+	if path == "" || tr == nil {
+		return
+	}
+	if err := writeTo(path, tr.WriteChrome); err != nil {
+		fmt.Fprintf(os.Stderr, "csimd: trace: %v\n", err)
+		return
+	}
+	fmt.Printf("trace:     wrote %s (load in chrome://tracing or Perfetto)\n", path)
+}
+
+// writeTo creates path and streams write into it.
+func writeTo(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "csimd:", err)
+	os.Exit(1)
+}

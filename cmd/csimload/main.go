@@ -1,0 +1,211 @@
+// Command csimload load-tests a csimd server: N concurrent clients each
+// submit a stream of identical jobs, wait for results, and the tool
+// reports throughput, latency percentiles, cache behaviour and queue
+// rejections. Assertion flags make it a CI gate:
+//
+//	csimload -addr http://127.0.0.1:8416 -clients 64 -jobs 2 \
+//	    -circuit s5378 -random 100 -expect-detections 4505 \
+//	    -min-cache-hit 0.9 -min-inflight 50
+//
+// exits non-zero when a job fails or its result is dropped, when a
+// completed job's detection count differs from -expect-detections, when
+// the server-side cache hit rate ends below -min-cache-hit, when the
+// peak number of concurrently in-flight jobs never reaches
+// -min-inflight, or when -expect-reject is set and the run never drew a
+// 429. Queue rejections are retried honouring the server's Retry-After
+// hint (capped by -max-retry-wait), so overload slows the run down but
+// never fails it.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "http://127.0.0.1:8416", "csimd base URL")
+		clients      = flag.Int("clients", 16, "concurrent client goroutines")
+		jobs         = flag.Int("jobs", 4, "jobs per client")
+		circuit      = flag.String("circuit", "s5378", "built-in suite circuit to simulate")
+		model        = flag.String("model", "stuck", "fault model: stuck | stuck-all | transition")
+		engine       = flag.String("engine", "csim-MV", "engine name (see csimd docs)")
+		randomN      = flag.Int("random", 100, "random vectors per job")
+		seed         = flag.Int64("seed", 1, "random vector seed")
+		poll         = flag.Duration("poll", 5*time.Millisecond, "job status poll interval")
+		timeout      = flag.Duration("timeout", 5*time.Minute, "whole-run deadline")
+		maxRetryWait = flag.Duration("max-retry-wait", 2*time.Second, "cap on honoured Retry-After backoff")
+
+		expectDet   = flag.Int("expect-detections", -1, "assert every completed job detects exactly this many faults (-1 disables)")
+		minCacheHit = flag.Float64("min-cache-hit", 0, "assert the final server cache hit rate is at least this fraction (0 disables)")
+		minInflight = flag.Int("min-inflight", 0, "assert the peak concurrently in-flight job count reaches this (0 disables)")
+		expectRej   = flag.Bool("expect-reject", false, "assert the run drew at least one 429 queue rejection")
+	)
+	flag.Parse()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	cl := service.NewClient(*addr)
+	spec := service.JobSpec{
+		Circuit: *circuit, Model: *model, Engine: *engine,
+		Random: *randomN, Seed: *seed,
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		failures  []string
+
+		inflight     atomic.Int64
+		peakInflight atomic.Int64
+		rejections   atomic.Int64
+		detMismatch  atomic.Int64
+		completed    atomic.Int64
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < *jobs; i++ {
+				jStart := time.Now()
+				v, err := submitWithRetry(ctx, cl, spec, *maxRetryWait, &rejections)
+				if err != nil {
+					record(&mu, &failures, fmt.Sprintf("submit: %v", err))
+					return
+				}
+				n := inflight.Add(1)
+				for {
+					if p := peakInflight.Load(); n <= p || peakInflight.CompareAndSwap(p, n) {
+						break
+					}
+				}
+				v, err = cl.Wait(ctx, v.ID, *poll)
+				inflight.Add(-1)
+				if err != nil {
+					record(&mu, &failures, fmt.Sprintf("wait %s: %v", v.ID, err))
+					return
+				}
+				if v.Status != service.StatusDone || v.Result == nil {
+					record(&mu, &failures, fmt.Sprintf("job %s: status %s, error %q", v.ID, v.Status, v.Error))
+					continue
+				}
+				completed.Add(1)
+				if *expectDet >= 0 && v.Result.Detected != *expectDet {
+					detMismatch.Add(1)
+					record(&mu, &failures, fmt.Sprintf("job %s: detected %d, want %d", v.ID, v.Result.Detected, *expectDet))
+				}
+				mu.Lock()
+				latencies = append(latencies, time.Since(jStart))
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	sum := harness.Summarize(latencies, wall)
+	total := *clients * *jobs
+	fmt.Printf("csimload:  %s %s/%s random=%d x %d clients x %d jobs\n",
+		*addr, *circuit, *engine, *randomN, *clients, *jobs)
+	fmt.Printf("completed: %d/%d (rejected-then-retried: %d, peak in-flight: %d)\n",
+		completed.Load(), total, rejections.Load(), peakInflight.Load())
+	fmt.Printf("latency:   %s\n", sum)
+
+	hitRate := cacheHitRate(ctx, cl)
+	if hitRate >= 0 {
+		fmt.Printf("cache:     hit rate %.1f%%\n", 100*hitRate)
+	}
+
+	ok := true
+	fail := func(format string, args ...any) {
+		ok = false
+		fmt.Fprintf(os.Stderr, "csimload: FAIL: "+format+"\n", args...)
+	}
+	if len(failures) > 0 {
+		for i, f := range failures {
+			if i == 10 {
+				fmt.Fprintf(os.Stderr, "csimload: ... %d more failures\n", len(failures)-10)
+				break
+			}
+			fmt.Fprintf(os.Stderr, "csimload: %s\n", f)
+		}
+		fail("%d of %d jobs did not complete cleanly", len(failures), total)
+	}
+	if int(completed.Load()) != total && len(failures) == 0 {
+		fail("completed %d of %d jobs with no recorded failure (dropped results)", completed.Load(), total)
+	}
+	if *expectDet >= 0 && detMismatch.Load() > 0 {
+		fail("%d completed jobs had wrong detection counts", detMismatch.Load())
+	}
+	if *minCacheHit > 0 {
+		if hitRate < 0 {
+			fail("cache hit rate unavailable from /metricsz")
+		} else if hitRate < *minCacheHit {
+			fail("cache hit rate %.3f below the required %.3f", hitRate, *minCacheHit)
+		}
+	}
+	if *minInflight > 0 && peakInflight.Load() < int64(*minInflight) {
+		fail("peak in-flight %d never reached the required %d", peakInflight.Load(), *minInflight)
+	}
+	if *expectRej && rejections.Load() == 0 {
+		fail("expected at least one 429 queue rejection; saw none")
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+// submitWithRetry submits a job, backing off on 429 for the server's
+// Retry-After hint (capped) and counting each rejection.
+func submitWithRetry(ctx context.Context, cl *service.Client, spec service.JobSpec,
+	maxWait time.Duration, rejections *atomic.Int64) (service.JobView, error) {
+	for {
+		v, err := cl.Submit(ctx, spec)
+		var qf *service.QueueFullError
+		if !errors.As(err, &qf) {
+			return v, err
+		}
+		rejections.Add(1)
+		wait := qf.RetryAfter
+		if wait > maxWait {
+			wait = maxWait
+		}
+		select {
+		case <-ctx.Done():
+			return v, ctx.Err()
+		case <-time.After(wait):
+		}
+	}
+}
+
+// cacheHitRate reads the final hit rate from /metricsz; -1 when the
+// metrics are unavailable or no lookup happened.
+func cacheHitRate(ctx context.Context, cl *service.Client) float64 {
+	m, err := cl.Metricsz(ctx)
+	if err != nil {
+		return -1
+	}
+	hits := m["serve.cache_hits"].Value
+	misses := m["serve.cache_misses"].Value
+	if hits+misses == 0 {
+		return -1
+	}
+	return float64(hits) / float64(hits+misses)
+}
+
+func record(mu *sync.Mutex, failures *[]string, msg string) {
+	mu.Lock()
+	*failures = append(*failures, msg)
+	mu.Unlock()
+}

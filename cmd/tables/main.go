@@ -122,6 +122,16 @@ func diffTables(w io.Writer, path string, table int, quick bool) (ok bool, err e
 	return ok, nil
 }
 
+// validateTable rejects -table values outside the paper's tables with a
+// one-line usage hint; without it an unknown number matched no job and
+// the command silently emitted nothing.
+func validateTable(n int) error {
+	if n == 0 || (n >= 2 && n <= 6) {
+		return nil
+	}
+	return fmt.Errorf("no table %d; usage: -table 2|3|4|5|6 (0 = all)", n)
+}
+
 func main() {
 	var (
 		table      = flag.Int("table", 0, "table number (2-6); 0 = all")
@@ -131,6 +141,10 @@ func main() {
 	)
 	flag.Parse()
 
+	if err := validateTable(*table); err != nil {
+		fmt.Fprintf(os.Stderr, "tables: %v\n", err)
+		os.Exit(1)
+	}
 	if *diff != "" {
 		ok, err := diffTables(os.Stderr, *diff, *table, *quick)
 		if err != nil {

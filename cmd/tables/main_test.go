@@ -5,10 +5,32 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files from current output")
+
+// TestValidateTable pins the -table validation: 0 and 2-6 are accepted,
+// anything else — which previously matched no table and silently emitted
+// nothing — is rejected with a one-line usage hint.
+func TestValidateTable(t *testing.T) {
+	for _, n := range []int{0, 2, 3, 4, 5, 6} {
+		if err := validateTable(n); err != nil {
+			t.Errorf("table %d rejected: %v", n, err)
+		}
+	}
+	for _, n := range []int{1, 7, -1, 42} {
+		err := validateTable(n)
+		if err == nil {
+			t.Errorf("table %d accepted", n)
+			continue
+		}
+		if !strings.Contains(err.Error(), "usage: -table") {
+			t.Errorf("table %d: error %q lacks usage hint", n, err)
+		}
+	}
+}
 
 // TestMaskVolatile pins the drift-check masking: CPU/MEM cells (two
 // decimals) are replaced, coverage cells (one decimal) and integer

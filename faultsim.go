@@ -37,6 +37,7 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/proofs"
 	"repro/internal/serial"
+	"repro/internal/service"
 	"repro/internal/vectors"
 )
 
@@ -215,3 +216,35 @@ func ParseVectors(text string, numPIs int) (*Vectors, error) {
 
 // GenerateTests runs the deterministic sequential test generator.
 func GenerateTests(u *Universe, opts ATPGOptions) ATPGResult { return atpg.Generate(u, opts) }
+
+// Service types (the csimd server and its client; see DESIGN.md §10).
+type (
+	// ServeConfig tunes the fault-simulation service: listen address,
+	// worker-pool size, admission-queue depth, compiled-circuit cache
+	// capacity, size and time bounds, and the observability bundle.
+	ServeConfig = service.Config
+	// Server is the networked fault-simulation service behind cmd/csimd:
+	// an HTTP/JSON job API in front of a bounded queue and a worker pool
+	// over this package's engines.
+	Server = service.Server
+	// ServeClient talks to a running csimd server: submit, poll, wait,
+	// cancel, and read the metrics snapshot.
+	ServeClient = service.Client
+	// JobSpec describes one simulation job submitted to a Server: the
+	// circuit (suite name or inline .bench), fault model, engine, and
+	// vector spec.
+	JobSpec = service.JobSpec
+	// JobView is a job's status/result as the service reports it.
+	JobView = service.JobView
+	// JobResult is a finished job's payload: detections, coverage and
+	// engine counters.
+	JobResult = service.ResultView
+)
+
+// NewServer builds the fault-simulation service; call Start on it to
+// serve, and Drain (graceful) or Close (hard) to stop.
+func NewServer(cfg ServeConfig) *Server { return service.New(cfg) }
+
+// NewServeClient builds a client for a csimd server's base URL, e.g.
+// "http://127.0.0.1:8416".
+func NewServeClient(baseURL string) *ServeClient { return service.NewClient(baseURL) }

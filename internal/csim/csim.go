@@ -56,6 +56,14 @@ type Config struct {
 	// detection the whole circuit is scanned for the dropped fault's
 	// elements. Exists as an ablation baseline.
 	EagerDrop bool
+	// Plan, when non-nil, supplies a precompiled macro plan and skips
+	// extraction entirely — the compiled-circuit cache in
+	// internal/service hands the same immutable plan to every job on the
+	// same netlist. The plan must cover the universe's circuit and must
+	// have been extracted with settings matching Macros /
+	// ReconvergentMacros / MacroMaxInputs; the circuit identity is
+	// checked, the settings are the caller's contract.
+	Plan *macro.Plan
 	// Trace, when non-nil, receives divergence/convergence/detection
 	// events (used by the Figure 1 walkthrough example).
 	Trace func(ev TraceEvent)
@@ -139,6 +147,12 @@ type Simulator struct {
 
 	locals [][]int32 // per gate: sorted IDs of faults sited at that gate
 
+	// fstTab memoizes, per local stuck fault on a table-sized macro, the
+	// macro's per-fault functional lookup table (macro.StuckTable). The
+	// cache is per simulator — a Plan is immutable and may be shared by
+	// concurrent simulators, so the mutable memo cannot live on the macro.
+	fstTab [][]logic.V
+
 	// consumers[g] lists the (root, leafPin) pairs fed by gate g.
 	consumers [][]consumer
 
@@ -220,18 +234,26 @@ func newSim(u *faults.Universe, cfg Config, ids []int32) (*Simulator, error) {
 	}
 	var plan *macro.Plan
 	var err error
-	sp := cfg.Obs.Span("macro-extract")
-	switch {
-	case cfg.ReconvergentMacros:
-		plan, err = macro.ExtractReconvergent(c, cfg.MacroMaxInputs)
-	case cfg.Macros:
-		plan, err = macro.Extract(c, cfg.MacroMaxInputs)
-	default:
-		plan = macro.Trivial(c)
-	}
-	sp.End()
-	if err != nil {
-		return nil, err
+	if cfg.Plan != nil {
+		if cfg.Plan.C != c {
+			return nil, fmt.Errorf("csim: precompiled plan is for circuit %q, universe is over %q",
+				cfg.Plan.C.Name, c.Name)
+		}
+		plan = cfg.Plan
+	} else {
+		sp := cfg.Obs.Span("macro-extract")
+		switch {
+		case cfg.ReconvergentMacros:
+			plan, err = macro.ExtractReconvergent(c, cfg.MacroMaxInputs)
+		case cfg.Macros:
+			plan, err = macro.Extract(c, cfg.MacroMaxInputs)
+		default:
+			plan = macro.Trivial(c)
+		}
+		sp.End()
+		if err != nil {
+			return nil, err
+		}
 	}
 	n := len(c.Gates)
 	s := &Simulator{
@@ -244,6 +266,7 @@ func newSim(u *faults.Universe, cfg Config, ids []int32) (*Simulator, error) {
 		vis:       make([]int32, n),
 		inv:       make([]int32, n),
 		locals:    make([][]int32, n),
+		fstTab:    make([][]logic.V, len(u.Faults)),
 		consumers: make([][]consumer, n),
 		retrigOn:  make([]bool, n),
 		sched:     make([]bool, n),

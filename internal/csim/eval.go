@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/faults"
 	"repro/internal/logic"
+	"repro/internal/macro"
 	"repro/internal/netlist"
 	"repro/internal/obs"
 )
@@ -313,7 +314,18 @@ func (s *Simulator) evalRoot(r netlist.GateID) {
 		if isLocal {
 			flt := &s.u.Faults[f]
 			if flt.Kind.Stuck() {
-				newOut = m.EvalStuck(fin, s.frame, flt.Gate, flt.Pin, flt.Kind.StuckValue())
+				if m.Table != nil {
+					// Table-sized macro: evaluate through the fault's
+					// functional table, built once per simulator (§2.2).
+					tbl := s.fstTab[f]
+					if tbl == nil {
+						tbl = m.StuckTable(flt.Gate, flt.Pin, flt.Kind.StuckValue())
+						s.fstTab[f] = tbl
+					}
+					newOut = tbl[macro.TableIndex(fin)]
+				} else {
+					newOut = m.EvalStuck(fin, s.frame, flt.Gate, flt.Pin, flt.Kind.StuckValue())
+				}
 			} else {
 				prev := s.prevDriver[f]
 				var driver logic.V

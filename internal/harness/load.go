@@ -1,0 +1,77 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// LatencySummary aggregates a load run's per-job latencies into the
+// cells a serve-mode report prints: count, throughput and the usual
+// percentile ladder.
+type LatencySummary struct {
+	// Count is the number of observations.
+	Count int
+	// Wall is the whole run's wall-clock span (throughput denominator).
+	Wall time.Duration
+	// Min, P50, P90, P99 and Max are the latency percentiles.
+	Min, P50, P90, P99, Max time.Duration
+	// Mean is the arithmetic-mean latency.
+	Mean time.Duration
+}
+
+// Summarize computes a LatencySummary over per-job latencies observed
+// during one wall-clock window. A nil/empty sample yields a zero
+// summary.
+func Summarize(latencies []time.Duration, wall time.Duration) LatencySummary {
+	s := LatencySummary{Count: len(latencies), Wall: wall}
+	if len(latencies) == 0 {
+		return s
+	}
+	sorted := append([]time.Duration(nil), latencies...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum time.Duration
+	for _, d := range sorted {
+		sum += d
+	}
+	s.Min = sorted[0]
+	s.Max = sorted[len(sorted)-1]
+	s.Mean = sum / time.Duration(len(sorted))
+	s.P50 = percentile(sorted, 0.50)
+	s.P90 = percentile(sorted, 0.90)
+	s.P99 = percentile(sorted, 0.99)
+	return s
+}
+
+// percentile reads the nearest-rank percentile from an ascending sample.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Throughput is jobs per second over the wall-clock window (0 when the
+// window is empty).
+func (s LatencySummary) Throughput() float64 {
+	if s.Wall <= 0 {
+		return 0
+	}
+	return float64(s.Count) / s.Wall.Seconds()
+}
+
+// String renders the one-line latency report csimload prints.
+func (s LatencySummary) String() string {
+	return fmt.Sprintf("n=%d wall=%s rate=%.1f/s min=%s p50=%s p90=%s p99=%s max=%s",
+		s.Count, s.Wall.Round(time.Millisecond), s.Throughput(),
+		s.Min.Round(time.Microsecond), s.P50.Round(time.Microsecond),
+		s.P90.Round(time.Microsecond), s.P99.Round(time.Microsecond),
+		s.Max.Round(time.Microsecond))
+}

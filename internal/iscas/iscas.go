@@ -73,38 +73,51 @@ var Suite = []Info{
 	{Name: "s35932", PIs: 35, POs: 320, DFFs: 1728, Gates: 16065},
 }
 
+// entry is one circuit's single-flight build slot: the first caller runs
+// the parse/generation inside the Once while later callers block on it,
+// and every caller sees the same *Circuit and error afterwards.
+type entry struct {
+	once sync.Once
+	c    *netlist.Circuit
+	err  error
+}
+
 var (
 	mu    sync.Mutex
-	cache = map[string]*netlist.Circuit{}
+	cache = map[string]*entry{}
 )
 
 // Get returns a suite circuit by name, building (and caching) it on first
-// use.
+// use. It is safe for concurrent callers: the build is single-flighted
+// per name (one parse/generation no matter how many goroutines ask at
+// once), the global lock is held only for the map lookup, and different
+// circuits build concurrently.
 func Get(name string) (*netlist.Circuit, error) {
-	mu.Lock()
-	defer mu.Unlock()
-	if c, ok := cache[name]; ok {
-		return c, nil
-	}
 	info, err := lookup(name)
 	if err != nil {
 		return nil, err
 	}
-	var c *netlist.Circuit
+	mu.Lock()
+	e, ok := cache[name]
+	if !ok {
+		e = &entry{}
+		cache[name] = e
+	}
+	mu.Unlock()
+	e.once.Do(func() { e.c, e.err = build(info) })
+	return e.c, e.err
+}
+
+// build constructs one suite circuit from its published shape.
+func build(info Info) (*netlist.Circuit, error) {
 	if info.Real {
-		c, err = netlist.ParseBenchString(info.Name, S27Bench)
-	} else {
-		c, err = gen.Generate(gen.Spec{
-			Name: info.Name, PIs: info.PIs, POs: info.POs,
-			DFFs: info.DFFs, Gates: info.Gates,
-			Seed: seedFor(info.Name),
-		})
+		return netlist.ParseBenchString(info.Name, S27Bench)
 	}
-	if err != nil {
-		return nil, err
-	}
-	cache[name] = c
-	return c, nil
+	return gen.Generate(gen.Spec{
+		Name: info.Name, PIs: info.PIs, POs: info.POs,
+		DFFs: info.DFFs, Gates: info.Gates,
+		Seed: seedFor(info.Name),
+	})
 }
 
 // MustGet is Get for mains and tests with static names.

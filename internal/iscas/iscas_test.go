@@ -1,7 +1,10 @@
 package iscas
 
 import (
+	"sync"
 	"testing"
+
+	"repro/internal/netlist"
 )
 
 func TestS27IsReal(t *testing.T) {
@@ -36,6 +39,53 @@ func TestGetCaches(t *testing.T) {
 	b := MustGet("s298")
 	if a != b {
 		t.Error("Get did not cache")
+	}
+}
+
+// TestGetConcurrent hammers Get from 16 goroutines across a mix of
+// circuits (run under -race in CI): every caller must observe the same
+// cached *Circuit per name, errors included, with the parse single-
+// flighted. csimd's worker pool resolves suite circuits concurrently on
+// every job, so this is its admission-path contract.
+func TestGetConcurrent(t *testing.T) {
+	names := []string{"s27", "s298", "s344", "s386", "s27", "s298", "nosuch"}
+	const goroutines = 16
+	got := make([]map[string]*netlist.Circuit, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			seen := map[string]*netlist.Circuit{}
+			for iter := 0; iter < 8; iter++ {
+				for _, name := range names {
+					c, err := Get(name)
+					if name == "nosuch" {
+						if err == nil {
+							t.Errorf("goroutine %d: Get(nosuch) succeeded", g)
+						}
+						continue
+					}
+					if err != nil {
+						t.Errorf("goroutine %d: Get(%s): %v", g, name, err)
+						continue
+					}
+					if prev, ok := seen[name]; ok && prev != c {
+						t.Errorf("goroutine %d: Get(%s) returned two distinct circuits", g, name)
+					}
+					seen[name] = c
+				}
+			}
+			got[g] = seen
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		for name, c := range got[g] {
+			if got[0][name] != c {
+				t.Errorf("goroutines 0 and %d disagree on cached %s", g, name)
+			}
+		}
 	}
 }
 

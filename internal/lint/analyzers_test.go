@@ -19,6 +19,10 @@ func TestAtomicDiscipline(t *testing.T) {
 	linttest.Run(t, lint.AtomicDiscipline, "testdata/src/atomicdiscipline")
 }
 
+func TestCtxDiscipline(t *testing.T) {
+	linttest.Run(t, lint.CtxDiscipline, "testdata/src/ctxdiscipline")
+}
+
 func TestStatsTag(t *testing.T) {
 	linttest.Run(t, lint.StatsTag, "testdata/src/statstag")
 }

@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxDiscipline enforces the repo's context.Context conventions, the
+// rules the service layer's cancellation correctness rests on:
+//
+//  1. First parameter: a function that takes a context.Context must take
+//     it as its first parameter (after the receiver), so call sites and
+//     signatures stay uniform and a context is never an afterthought.
+//  2. No storage: a struct field must not have type context.Context.
+//     A stored context outlives the call that created it and silently
+//     decouples cancellation from call structure — hold a cancel func
+//     (as service.job does) or pass the context per call instead.
+var CtxDiscipline = &Analyzer{
+	Name: "ctxdiscipline",
+	Doc: `enforce context.Context conventions
+
+Rule 1: context.Context parameters come first. Any function, method or
+function literal with a context.Context parameter in a later position is
+reported.
+
+Rule 2: context.Context never lands in a struct field (named or
+embedded). Contexts are call-scoped values; storing one hides its
+lifetime. Keep a context.CancelFunc or re-derive the context per call.`,
+	Run: runCtxDiscipline,
+}
+
+func runCtxDiscipline(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncType:
+				// Every signature in the file is a FuncType: declarations,
+				// literals, interface methods, and function-typed fields.
+				checkCtxParams(pass, n)
+			case *ast.StructType:
+				checkCtxFields(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCtxParams reports context.Context parameters in any position but
+// the first.
+func checkCtxParams(pass *Pass, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	pos := 0
+	for _, f := range ft.Params.List {
+		n := len(f.Names)
+		if n == 0 {
+			n = 1 // unnamed parameter still occupies a position
+		}
+		if isContextType(pass.TypeOf(f.Type)) && pos > 0 {
+			pass.Reportf(f.Type.Pos(),
+				"context.Context must be the first parameter, not parameter %d", pos+1)
+		}
+		pos += n
+	}
+}
+
+// checkCtxFields reports struct fields (named or embedded) of type
+// context.Context.
+func checkCtxFields(pass *Pass, st *ast.StructType) {
+	for _, f := range st.Fields.List {
+		if !isContextType(pass.TypeOf(f.Type)) {
+			continue
+		}
+		name := "embedded field"
+		if len(f.Names) > 0 {
+			name = "field " + f.Names[0].Name
+		}
+		pass.Reportf(f.Type.Pos(),
+			"%s stores a context.Context; contexts are call-scoped — pass them per call and store a context.CancelFunc if cancellation must outlive the call", name)
+	}
+}
+
+// isContextType reports whether t is context.Context (possibly behind an
+// alias).
+func isContextType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

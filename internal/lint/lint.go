@@ -126,6 +126,7 @@ func All() []*Analyzer {
 		HotPathAlloc,
 		MapRange,
 		AtomicDiscipline,
+		CtxDiscipline,
 		StatsTag,
 		ExportDoc,
 	}

@@ -1,0 +1,91 @@
+// Package ctxdiscipline is the fixture for the ctxdiscipline analyzer.
+package ctxdiscipline
+
+import (
+	"context"
+	"time"
+)
+
+// --- Rule 1: context.Context must be the first parameter ---
+
+func firstOK(ctx context.Context, name string) error { // no diagnostic
+	_ = ctx
+	_ = name
+	return nil
+}
+
+func noCtxOK(a, b int) int { return a + b } // no diagnostic
+
+func ctxSecond(name string, ctx context.Context) { // want `context.Context must be the first parameter`
+	_ = name
+	_ = ctx
+}
+
+func ctxThird(a int, b string, ctx context.Context) { // want `context.Context must be the first parameter, not parameter 3`
+	_, _, _ = a, b, ctx
+}
+
+func ctxAfterMultiName(a, b int, ctx context.Context) { // want `not parameter 3`
+	_, _, _ = a, b, ctx
+}
+
+type runner struct{ n int }
+
+// Methods: the receiver does not count; ctx first after it is fine.
+func (r *runner) runOK(ctx context.Context) error { // no diagnostic
+	_ = ctx
+	return nil
+}
+
+func (r *runner) runBad(d time.Duration, ctx context.Context) { // want `context.Context must be the first parameter`
+	_, _ = d, ctx
+}
+
+// Function literals are checked too.
+var _ = func(n int, ctx context.Context) { // want `context.Context must be the first parameter`
+	_, _ = n, ctx
+}
+
+var _ = func(ctx context.Context, n int) { _, _ = ctx, n } // no diagnostic
+
+// Interface method contracts are signatures as well.
+type doer interface {
+	DoOK(ctx context.Context, job string) error
+	DoBad(job string, ctx context.Context) error // want `context.Context must be the first parameter`
+}
+
+// --- Rule 2: no context.Context struct fields ---
+
+type jobOK struct {
+	id string
+	// Holding the cancel half is the sanctioned pattern.
+	cancel context.CancelFunc
+}
+
+type jobBad struct {
+	id  string
+	ctx context.Context // want `field ctx stores a context.Context`
+}
+
+type embedBad struct {
+	context.Context // want `embedded field stores a context.Context`
+	id              string
+}
+
+// A context-typed variable or parameter is not storage; only struct
+// fields are.
+var bg = context.Background() // no diagnostic
+
+func use() {
+	_ = jobOK{}
+	_ = jobBad{}
+	_ = embedBad{}
+	_ = bg
+	ctxSecond("x", bg)
+	ctxThird(1, "y", bg)
+	ctxAfterMultiName(1, 2, bg)
+	(&runner{}).runBad(0, bg)
+	_ = firstOK
+	_ = noCtxOK
+	var _ doer
+}

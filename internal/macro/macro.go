@@ -34,7 +34,13 @@ type Instr struct {
 	Out  int32
 }
 
-// Macro is one extracted fanout-free region.
+// Macro is one extracted fanout-free region. A Macro is immutable once
+// extraction returns — nothing in its evaluation methods writes to the
+// receiver — so a Plan may be shared by any number of concurrently
+// running simulators. Callers that want the paper's per-fault lookup
+// tables ("each fault descriptor holds an adequate look up table entry")
+// memoize StuckTable results on their own side, as internal/csim does
+// per simulator instance.
 type Macro struct {
 	Root   netlist.GateID
 	Leaves []netlist.GateID // external driver gates, deduplicated, in first-use order
@@ -42,18 +48,6 @@ type Macro struct {
 	Table  []logic.V        // ternary lookup table, nil if len(Leaves) > TableMaxInputs
 
 	gateInstr map[netlist.GateID]int32 // member gate -> Prog index
-
-	// ftab holds lazily built per-fault lookup tables for internal
-	// stuck-at (functional) faults — the paper's "each fault descriptor
-	// holds an adequate look up table entry corresponding to the fault".
-	// Only populated when the macro itself is table-sized.
-	ftab map[faultKey][]logic.V
-}
-
-type faultKey struct {
-	gate netlist.GateID
-	pin  int
-	v    logic.V
 }
 
 // NumLeaves returns the macro's external input count.
@@ -68,8 +62,9 @@ func (m *Macro) Contains(g netlist.GateID) bool {
 	return ok
 }
 
-// tableIndex packs ternary leaf values into a table index, 2 bits each.
-func tableIndex(in []logic.V) int {
+// TableIndex packs ternary leaf values into a lookup-table index, 2 bits
+// per leaf — the index scheme of Table and of StuckTable results.
+func TableIndex(in []logic.V) int {
 	idx := 0
 	for i, v := range in {
 		idx |= int(v) << (2 * i)
@@ -81,29 +76,18 @@ func tableIndex(in []logic.V) int {
 // have at least FrameSize entries (ignored when a table is present).
 func (m *Macro) Eval(in []logic.V, frame []logic.V) logic.V {
 	if m.Table != nil {
-		return m.Table[tableIndex(in)]
+		return m.Table[TableIndex(in)]
 	}
 	return m.replay(in, frame, -1, nil)
 }
 
 // EvalStuck evaluates the macro with a stuck-at fault injected at the
 // original site (gate, pin): pin == faults.OutPin forces the gate output,
-// otherwise input pin `pin` is forced to v.
+// otherwise input pin `pin` is forced to v. Every call replays the cone;
+// callers that evaluate the same fault repeatedly on a table-sized macro
+// should memoize StuckTable instead. (The memo deliberately does not live
+// here: it would make shared Plans mutable.)
 func (m *Macro) EvalStuck(in, frame []logic.V, gate netlist.GateID, pin int, v logic.V) logic.V {
-	if m.Table != nil {
-		// Table-sized macro: evaluate the functional fault through its
-		// lazily built per-fault table.
-		key := faultKey{gate: gate, pin: pin, v: v}
-		tbl, ok := m.ftab[key]
-		if !ok {
-			tbl = m.buildFaultTable(gate, pin, v)
-			if m.ftab == nil {
-				m.ftab = make(map[faultKey][]logic.V)
-			}
-			m.ftab[key] = tbl
-		}
-		return tbl[tableIndex(in)]
-	}
 	return m.evalStuckReplay(in, frame, gate, pin, v)
 }
 
@@ -120,8 +104,16 @@ func (m *Macro) evalStuckReplay(in, frame []logic.V, gate netlist.GateID, pin in
 	})
 }
 
-// buildFaultTable precomputes the functional fault's full ternary table.
-func (m *Macro) buildFaultTable(gate netlist.GateID, pin int, v logic.V) []logic.V {
+// StuckTable precomputes the full ternary lookup table of the macro with
+// the stuck-at fault (gate, pin, v) injected — the per-fault functional
+// table of §2.2, indexed by TableIndex. It returns nil when the macro is
+// not table-sized (more than TableMaxInputs leaves); such faults must go
+// through EvalStuck replay. The build is pure: the macro itself is not
+// modified, so callers own the memoization (and its thread-safety).
+func (m *Macro) StuckTable(gate netlist.GateID, pin int, v logic.V) []logic.V {
+	if m.Table == nil {
+		return nil
+	}
 	n := len(m.Leaves)
 	size := 1 << (2 * n)
 	tbl := make([]logic.V, size)

@@ -1,7 +1,9 @@
 package macro
 
 import (
+	"fmt"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"repro/internal/faults"
@@ -523,9 +525,9 @@ func TestReconvergentStuckInjectionMatchesFlat(t *testing.T) {
 	}
 }
 
-// TestFaultTableMatchesReplay: the lazily built per-fault lookup tables
-// (functional faults, §2.2) must agree with direct injected replay on
-// every input combination.
+// TestFaultTableMatchesReplay: the per-fault lookup tables (functional
+// faults, §2.2) must agree with direct injected replay on every input
+// combination.
 func TestFaultTableMatchesReplay(t *testing.T) {
 	c := mustParse(t, "fig3", fig3Bench)
 	p, err := Extract(c, DefaultMaxInputs)
@@ -539,15 +541,21 @@ func TestFaultTableMatchesReplay(t *testing.T) {
 	u := faults.StuckAll(c)
 	frame := make([]logic.V, m.FrameSize())
 	in := make([]logic.V, m.NumLeaves())
+	built := 0
 	for _, f := range u.Faults {
 		if !m.Contains(f.Gate) {
 			continue
 		}
+		tbl := m.StuckTable(f.Gate, f.Pin, f.Kind.StuckValue())
+		if tbl == nil {
+			t.Fatalf("fault %s: StuckTable returned nil for a table-sized macro", f.Name(c))
+		}
+		built++
 		var walk func(i int)
 		walk = func(i int) {
 			if i == len(in) {
-				viaTable := m.EvalStuck(in, frame, f.Gate, f.Pin, f.Kind.StuckValue())
-				direct := m.evalStuckReplay(in, frame, f.Gate, f.Pin, f.Kind.StuckValue())
+				viaTable := tbl[TableIndex(in)]
+				direct := m.EvalStuck(in, frame, f.Gate, f.Pin, f.Kind.StuckValue())
 				if viaTable != direct {
 					t.Fatalf("fault %s at %v: table %v, replay %v", f.Name(c), in, viaTable, direct)
 				}
@@ -560,7 +568,51 @@ func TestFaultTableMatchesReplay(t *testing.T) {
 		}
 		walk(0)
 	}
-	if len(m.ftab) == 0 {
+	if built == 0 {
 		t.Error("no per-fault tables were built")
+	}
+}
+
+// wideBench builds a single n-input AND cone, wide enough to exceed the
+// lookup-table leaf cap.
+func wideBench(n int) string {
+	var b strings.Builder
+	args := make([]string, n)
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "INPUT(i%d)\n", i)
+		args[i] = fmt.Sprintf("i%d", i)
+	}
+	b.WriteString("OUTPUT(z)\n")
+	fmt.Fprintf(&b, "z = AND(%s)\n", strings.Join(args, ", "))
+	return b.String()
+}
+
+// TestStuckTableNilForWideMacro: macros beyond TableMaxInputs leaves have
+// no base table and must report nil so callers fall back to replay.
+func TestStuckTableNilForWideMacro(t *testing.T) {
+	c := mustParse(t, "wide", wideBench(TableMaxInputs+2))
+	p, err := Extract(c, TableMaxInputs+2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m *Macro
+	for _, cand := range p.ByRoot {
+		if cand != nil && cand.NumLeaves() > TableMaxInputs {
+			m = cand
+			break
+		}
+	}
+	if m == nil {
+		t.Fatal("no wide macro extracted")
+	}
+	u := faults.StuckAll(c)
+	for _, f := range u.Faults {
+		if !m.Contains(f.Gate) {
+			continue
+		}
+		if tbl := m.StuckTable(f.Gate, f.Pin, f.Kind.StuckValue()); tbl != nil {
+			t.Fatalf("fault %s: expected nil table for %d-leaf macro", f.Name(c), m.NumLeaves())
+		}
+		break
 	}
 }

@@ -34,20 +34,14 @@ func PublishExpvar(name string, r *Registry) {
 	expvarBindings[name] = r
 }
 
-// Serve starts an HTTP server on addr exposing:
+// Register mounts the observability endpoints on an existing mux:
 //
 //	/debug/vars   expvar JSON (including the registry, once published)
 //	/debug/pprof  the full net/http/pprof suite
 //	/metricsz     the registry snapshot as {"metrics": [...]}
 //
-// It returns the bound address (useful with ":0") and a shutdown
-// function. The server runs until stopped; handler errors are ignored.
-func Serve(addr string, r *Registry) (bound string, stop func(), err error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return "", nil, fmt.Errorf("obs: listen %s: %w", addr, err)
-	}
-	mux := http.NewServeMux()
+// csimd composes these with its own job API; Serve uses them standalone.
+func Register(mux *http.ServeMux, r *Registry) {
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -58,6 +52,18 @@ func Serve(addr string, r *Registry) (bound string, stop func(), err error) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = r.WriteJSON(w)
 	})
+}
+
+// Serve starts an HTTP server on addr exposing the Register endpoints.
+// It returns the bound address (useful with ":0") and a shutdown
+// function. The server runs until stopped; handler errors are ignored.
+func Serve(addr string, r *Registry) (bound string, stop func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	Register(mux, r)
 	srv := &http.Server{Handler: mux}
 	go func() { _ = srv.Serve(ln) }()
 	return ln.Addr().String(), func() { _ = srv.Close() }, nil

@@ -1,0 +1,312 @@
+// Package service is the networked fault-simulation service behind
+// cmd/csimd: an HTTP/JSON job API in front of the repository's engines.
+// A job names a circuit (built-in suite member or inline .bench text), a
+// fault model, a vector spec and an engine; jobs are admitted into a
+// bounded queue (full queue → 429 + Retry-After, never a hang), executed
+// by a worker pool that reuses the csim/csim-P engines, and their
+// Result/Stats are retrievable as JSON until evicted. A compiled-circuit
+// cache keyed by netlist hash memoizes parse + fault-list collapse +
+// macro extraction, so repeated jobs on the same netlist skip cone
+// compilation entirely. See DESIGN.md §10 and the README "Serving"
+// section.
+package service
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Fault models and engine names accepted by JobSpec, in the spelling the
+// CLIs use.
+var (
+	// Models lists the accepted fault models.
+	Models = []string{"stuck", "stuck-all", "transition"}
+	// Engines lists the accepted engine names.
+	Engines = []string{"csim", "csim-V", "csim-M", "csim-MV",
+		"csim-MV-eagerdrop", "csim-MV-reconvergent", "csim-P", "PROOFS", "serial"}
+)
+
+// JobSpec is the submit-request body: what to simulate and how.
+type JobSpec struct {
+	// Circuit names a built-in suite circuit (e.g. "s5378"). Exactly one
+	// of Circuit and Bench must be set.
+	Circuit string `json:"circuit,omitempty"`
+	// Bench is an inline ISCAS-89 .bench netlist. Its size is bounded by
+	// the server's MaxInlineBytes (oversized → 413).
+	Bench string `json:"bench,omitempty"`
+	// BenchName names the inline netlist in diagnostics (default
+	// "inline").
+	BenchName string `json:"bench_name,omitempty"`
+	// Model is the fault model: stuck (default), stuck-all, transition.
+	Model string `json:"model,omitempty"`
+	// Engine selects the simulator: csim, csim-V, csim-M, csim-MV
+	// (default), csim-MV-eagerdrop, csim-MV-reconvergent, csim-P, PROOFS,
+	// serial.
+	Engine string `json:"engine,omitempty"`
+	// Workers is the csim-P partition worker count (<=0: server default).
+	Workers int `json:"workers,omitempty"`
+	// Random asks for this many seeded random vectors. Exactly one of
+	// Random and Vectors must be set.
+	Random int `json:"random,omitempty"`
+	// Seed seeds the random vectors (default 1).
+	Seed int64 `json:"seed,omitempty"`
+	// Vectors is inline vector text: one 0/1/X line per cycle.
+	Vectors string `json:"vectors,omitempty"`
+	// TimeoutMS bounds the job's run time in milliseconds; 0 means the
+	// server default. The server caps it at its configured maximum.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// normalize fills defaults and validates the spec shape (everything that
+// can be judged without compiling the circuit). It returns a user-facing
+// error for a 400 response.
+func (sp *JobSpec) normalize() error {
+	if (sp.Circuit == "") == (sp.Bench == "") {
+		return fmt.Errorf("exactly one of circuit and bench is required")
+	}
+	if sp.BenchName == "" {
+		sp.BenchName = "inline"
+	}
+	if sp.Model == "" {
+		sp.Model = "stuck"
+	}
+	if !contains(Models, sp.Model) {
+		return fmt.Errorf("unknown fault model %q (models: %s)", sp.Model, strings.Join(Models, " | "))
+	}
+	if sp.Engine == "" {
+		sp.Engine = "csim-MV"
+	}
+	if !contains(Engines, sp.Engine) {
+		return fmt.Errorf("unknown engine %q (engines: %s)", sp.Engine, strings.Join(Engines, " | "))
+	}
+	if sp.Engine == "PROOFS" && sp.Model == "transition" {
+		return fmt.Errorf("engine PROOFS simulates stuck-at faults only")
+	}
+	if (sp.Random > 0) == (sp.Vectors != "") {
+		return fmt.Errorf("exactly one of random > 0 and vectors is required")
+	}
+	if sp.Random < 0 {
+		return fmt.Errorf("random must be >= 0")
+	}
+	if sp.Seed == 0 {
+		sp.Seed = 1
+	}
+	if sp.TimeoutMS < 0 {
+		return fmt.Errorf("timeout_ms must be >= 0")
+	}
+	return nil
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// Status is a job's lifecycle state.
+type Status string
+
+// Job lifecycle states. Queued and running are live; done, failed and
+// cancelled are terminal.
+const (
+	StatusQueued    Status = "queued"
+	StatusRunning   Status = "running"
+	StatusDone      Status = "done"
+	StatusFailed    Status = "failed"
+	StatusCancelled Status = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s Status) Terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCancelled
+}
+
+// StatsView is the engine instrumentation block of a job result.
+type StatsView struct {
+	// Evals counts faulty-machine gate evaluations.
+	Evals int `json:"evals"`
+	// Skips counts merged machines skipped without re-evaluation.
+	Skips int `json:"skips"`
+	// GoodEvals counts good-machine value refreshes.
+	GoodEvals int `json:"good_evals"`
+	// Scheds counts macro roots scheduled for evaluation.
+	Scheds int `json:"scheds"`
+	// PeakElems is the high-water mark of live fault elements.
+	PeakElems int `json:"peak_elems"`
+	// Macros is the macro count of the plan in use.
+	Macros int `json:"macros"`
+	// MemBytes is the accounted fault-element memory at peak.
+	MemBytes int64 `json:"mem_bytes"`
+}
+
+// ResultView is a finished job's payload: the detections and counters a
+// harness.Measurement would carry, as JSON.
+type ResultView struct {
+	// Engine is the engine that ran.
+	Engine string `json:"engine"`
+	// Circuit is the simulated circuit's name.
+	Circuit string `json:"circuit"`
+	// Model is the fault model simulated.
+	Model string `json:"model"`
+	// Patterns is the applied vector count.
+	Patterns int `json:"patterns"`
+	// Faults is the fault-universe size.
+	Faults int `json:"faults"`
+	// Detected is the hard-detection count.
+	Detected int `json:"detected"`
+	// PotOnly counts potentially-but-never-hard detected faults.
+	PotOnly int `json:"pot_only"`
+	// Coverage is hard coverage in [0,1].
+	Coverage float64 `json:"coverage"`
+	// Workers is the csim-P partition count (0 otherwise).
+	Workers int `json:"workers,omitempty"`
+	// RunNS is the measured engine wall time in nanoseconds.
+	RunNS int64 `json:"run_ns"`
+	// CacheHit reports whether the compiled-circuit cache served the
+	// netlist (parse + collapse + macro extraction skipped).
+	CacheHit bool `json:"cache_hit"`
+	// Stats is the engine instrumentation block (zero for PROOFS/serial).
+	Stats StatsView `json:"stats"`
+}
+
+// JobView is the job-status response body.
+type JobView struct {
+	// ID is the job identifier ("j1", "j2", ...).
+	ID string `json:"id"`
+	// Status is the lifecycle state.
+	Status Status `json:"status"`
+	// Spec echoes the normalized submission.
+	Spec JobSpec `json:"spec"`
+	// Submitted, Started and Finished are RFC3339Nano timestamps; Started
+	// and Finished are empty until reached.
+	Submitted string `json:"submitted"`
+	// Started is set when a worker picks the job up.
+	Started string `json:"started,omitempty"`
+	// Finished is set on a terminal state.
+	Finished string `json:"finished,omitempty"`
+	// Error describes a failed job.
+	Error string `json:"error,omitempty"`
+	// Result is present once Status is done.
+	Result *ResultView `json:"result,omitempty"`
+}
+
+// job is the server-side record. Mutable fields are guarded by mu; done
+// closes exactly once on reaching a terminal state.
+type job struct {
+	id   string
+	spec JobSpec
+	// cc and cacheHit are fixed at admission (the submit handler compiles
+	// through the cache before enqueueing) and read-only afterwards.
+	cc       *Compiled
+	cacheHit bool
+
+	mu        sync.Mutex
+	status    Status
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	err       string
+	result    *ResultView
+	// cancelRun cancels the running job's context; nil until running.
+	// Cancelling a queued job goes through the queue instead.
+	cancelRun func()
+
+	done chan struct{}
+}
+
+func newJob(id string, spec JobSpec, now time.Time) *job {
+	return &job{
+		id: id, spec: spec,
+		status: StatusQueued, submitted: now,
+		done: make(chan struct{}),
+	}
+}
+
+// view snapshots the job for JSON.
+func (j *job) view() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:        j.id,
+		Status:    j.status,
+		Spec:      j.spec,
+		Submitted: j.submitted.Format(time.RFC3339Nano),
+		Error:     j.err,
+		Result:    j.result,
+	}
+	if !j.started.IsZero() {
+		v.Started = j.started.Format(time.RFC3339Nano)
+	}
+	if !j.finished.IsZero() {
+		v.Finished = j.finished.Format(time.RFC3339Nano)
+	}
+	return v
+}
+
+// setRunning transitions queued → running; false when already terminal
+// (a cancelled job popped by a worker).
+func (j *job) setRunning(now time.Time, cancel func()) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status != StatusQueued {
+		return false
+	}
+	j.status = StatusRunning
+	j.started = now
+	j.cancelRun = cancel
+	return true
+}
+
+// finish moves the job to a terminal state exactly once.
+func (j *job) finish(status Status, now time.Time, res *ResultView, err string) {
+	j.mu.Lock()
+	if j.status.Terminal() {
+		j.mu.Unlock()
+		return
+	}
+	j.status = status
+	j.finished = now
+	j.result = res
+	j.err = err
+	j.cancelRun = nil
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// requestCancel asks a live job to stop: a queued job is finished here
+// directly (the caller has already removed it from the queue); a running
+// job has its context cancelled and finishes on the worker. Reports
+// whether the job was still live.
+func (j *job) requestCancel(now time.Time) bool {
+	j.mu.Lock()
+	if j.status.Terminal() {
+		j.mu.Unlock()
+		return false
+	}
+	if j.status == StatusQueued {
+		j.status = StatusCancelled
+		j.finished = now
+		j.err = "cancelled while queued"
+		j.mu.Unlock()
+		close(j.done)
+		return true
+	}
+	cancel := j.cancelRun
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	return true
+}
+
+// currentStatus reads the state under the lock.
+func (j *job) currentStatus() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
+}

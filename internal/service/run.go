@@ -1,0 +1,158 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/csim"
+	"repro/internal/faults"
+	"repro/internal/obs"
+	"repro/internal/parallel"
+	"repro/internal/proofs"
+	"repro/internal/serial"
+	"repro/internal/vectors"
+)
+
+// buildVectors materializes the job's vector spec against the compiled
+// circuit. Inline vector parse errors are user errors (400 at admission,
+// where this is first called).
+func buildVectors(spec *JobSpec, cc *Compiled) (*vectors.Set, error) {
+	numPIs := len(cc.Circuit.PIs)
+	if spec.Vectors != "" {
+		vs, err := vectors.ParseString(spec.Vectors, numPIs)
+		if err != nil {
+			return nil, err
+		}
+		if vs.Len() == 0 {
+			return nil, fmt.Errorf("vectors: empty vector set")
+		}
+		return vs, nil
+	}
+	return vectors.Random(cc.Circuit, spec.Random, spec.Seed), nil
+}
+
+// execute runs one admitted job's engine under ctx and returns the
+// result view. Cancellation granularity: the csim variants check the
+// context between clock cycles; csim-P, PROOFS and serial check it only
+// before starting (a cancelled running job of those engines finishes its
+// simulation, then reports cancelled).
+func execute(ctx context.Context, spec *JobSpec, cc *Compiled, ob *obs.Observer, prefix string, workersDefault int) (*ResultView, error) {
+	u, err := cc.Universe(spec.Model)
+	if err != nil {
+		return nil, err
+	}
+	vs, err := buildVectors(spec, cc)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	rv := &ResultView{
+		Engine:   spec.Engine,
+		Circuit:  cc.Circuit.Name,
+		Model:    spec.Model,
+		Patterns: vs.Len(),
+		Faults:   u.NumFaults(),
+	}
+	start := time.Now()
+	var res *faults.Result
+	switch spec.Engine {
+	case "serial":
+		res = serial.Simulate(u, vs)
+	case "PROOFS":
+		sim, err := proofs.New(u)
+		if err != nil {
+			return nil, err
+		}
+		res = sim.Run(vs)
+		rv.Stats.MemBytes = sim.Stats().MemBytes
+	case "csim-P":
+		workers := spec.Workers
+		if workers <= 0 {
+			workers = workersDefault
+		}
+		cfg := csim.MV()
+		cfg.Plan, err = cc.Plan(cfg)
+		if err != nil {
+			return nil, err
+		}
+		opt := parallel.Options{Workers: workers, Config: cfg, Obs: ob}
+		rv.Workers = opt.EffectiveWorkers(u.NumFaults())
+		var st csim.Stats
+		res, st, err = parallel.Simulate(u, vs, opt)
+		if err != nil {
+			return nil, err
+		}
+		fillStats(rv, st)
+	default:
+		cfg := engineConfig(spec.Engine)
+		cfg.Plan, err = cc.Plan(cfg)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Obs = ob
+		cfg.ObsPrefix = prefix
+		sim, err := csim.New(u, cfg)
+		if err != nil {
+			return nil, err
+		}
+		// Run cycle by cycle so cancellation and the per-job timeout take
+		// effect mid-simulation instead of after the whole vector set.
+		for _, vec := range vs.Vecs {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			sim.Cycle(vec)
+		}
+		res = sim.Result()
+		fillStats(rv, sim.Stats())
+	}
+	rv.RunNS = time.Since(start).Nanoseconds()
+	rv.Detected = res.NumDet
+	rv.PotOnly = res.NumPotOnly()
+	rv.Coverage = res.Coverage()
+	// A cancellation that raced the final cycles still wins: the client
+	// asked for the job to stop, so it reports cancelled, not done.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return rv, nil
+}
+
+// engineConfig maps an engine name to its csim configuration.
+func engineConfig(engine string) csim.Config {
+	switch engine {
+	case "csim-V":
+		return csim.V()
+	case "csim-M":
+		return csim.M()
+	case "csim-MV":
+		return csim.MV()
+	case "csim-MV-eagerdrop":
+		cfg := csim.MV()
+		cfg.EagerDrop = true
+		return cfg
+	case "csim-MV-reconvergent":
+		cfg := csim.MV()
+		cfg.ReconvergentMacros = true
+		return cfg
+	default:
+		return csim.Config{}
+	}
+}
+
+// fillStats copies the engine counters into the view.
+func fillStats(rv *ResultView, st csim.Stats) {
+	rv.Stats = StatsView{
+		Evals:     st.Evals,
+		Skips:     st.Skips,
+		GoodEvals: st.GoodEvals,
+		Scheds:    st.Scheds,
+		PeakElems: st.PeakElems,
+		Macros:    st.Macros,
+		MemBytes:  st.MemBytes,
+	}
+}

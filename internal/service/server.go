@@ -1,0 +1,583 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Config tunes a Server. The zero value gets sensible defaults from
+// Start.
+type Config struct {
+	// Addr is the listen address (":8416" style; ":0" picks a free port).
+	Addr string
+	// Workers is the worker-pool size (default runtime.NumCPU).
+	Workers int
+	// QueueDepth bounds the admission queue (default 256). In-flight
+	// capacity — admitted but unfinished jobs — is Workers + QueueDepth.
+	QueueDepth int
+	// MaxInlineBytes bounds an inline .bench or vectors body (default
+	// 4 MiB); an oversized submission is answered with 413.
+	MaxInlineBytes int64
+	// DefaultTimeout bounds a job's run time when the spec names none
+	// (default 5m); MaxTimeout caps spec-requested timeouts (default
+	// 30m).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps the per-job timeout a spec may request.
+	MaxTimeout time.Duration
+	// CacheSize bounds the compiled-circuit cache (default 64 circuits).
+	CacheSize int
+	// Retained bounds finished jobs kept for polling (default 8192);
+	// beyond it the oldest finished jobs are evicted.
+	Retained int
+	// EngineWorkers is the csim-P partition count when a spec leaves
+	// Workers at 0 (default runtime.NumCPU).
+	EngineWorkers int
+	// Obs is the observability bundle. Nil runs with a fresh registry
+	// (metrics always on — the service serves them) and no tracer.
+	Obs *obs.Observer
+}
+
+// withDefaults fills the zero fields.
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = ":8416"
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.MaxInlineBytes <= 0 {
+		c.MaxInlineBytes = 4 << 20
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 5 * time.Minute
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 30 * time.Minute
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 64
+	}
+	if c.Retained <= 0 {
+		c.Retained = 8192
+	}
+	if c.EngineWorkers <= 0 {
+		c.EngineWorkers = runtime.NumCPU()
+	}
+	if c.Obs == nil {
+		c.Obs = &obs.Observer{Metrics: obs.NewRegistry()}
+	}
+	if c.Obs.Metrics == nil {
+		c.Obs.Metrics = obs.NewRegistry()
+	}
+	return c
+}
+
+// Server is the fault-simulation service: HTTP admission in front of a
+// bounded queue and a worker pool over the repository's engines, with a
+// compiled-circuit cache and full metrics. Create with New, run with
+// Start, stop with Drain (graceful) or Close (hard).
+type Server struct {
+	cfg   Config
+	ob    *obs.Observer
+	cache *Cache
+	q     *jobQueue
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	finished []string // finished job IDs, oldest first (retention eviction)
+	seq      int64
+
+	draining atomic.Bool
+	stopped  atomic.Bool
+	// cancelWorkers tears down the worker base context (Close; Drain
+	// after its grace period).
+	cancelWorkers func()
+	workerWG      sync.WaitGroup
+	httpSrv       *http.Server
+	ln            net.Listener
+
+	// lastRunNS is a decaying estimate of recent job run time, feeding
+	// the Retry-After hint on 429.
+	lastRunNS atomic.Int64
+
+	mQueueDepth *obs.Gauge
+	mInflight   *obs.Gauge
+	mSubmitted  *obs.Counter
+	mRejected   *obs.Counter
+	mCompleted  *obs.Counter
+	mFailed     *obs.Counter
+	mCancelled  *obs.Counter
+	hQueueNS    *obs.Histogram
+	hRunNS      *obs.Histogram
+	hTotalNS    *obs.Histogram
+}
+
+// latencyBuckets is the job-latency histogram layout: 16 µs to ~17 s,
+// ×4 per bucket.
+var latencyBuckets = obs.ExpBuckets(16384, 4, 11)
+
+// New builds a server; Start brings it up.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	reg := cfg.Obs.Metrics
+	s := &Server{
+		cfg:   cfg,
+		ob:    cfg.Obs,
+		cache: NewCache(cfg.CacheSize, reg),
+		q:     newJobQueue(cfg.QueueDepth),
+		jobs:  map[string]*job{},
+
+		mQueueDepth: reg.Gauge("serve.queue_depth"),
+		mInflight:   reg.Gauge("serve.inflight"),
+		mSubmitted:  reg.Counter("serve.jobs_submitted"),
+		mRejected:   reg.Counter("serve.jobs_rejected"),
+		mCompleted:  reg.Counter("serve.jobs_completed"),
+		mFailed:     reg.Counter("serve.jobs_failed"),
+		mCancelled:  reg.Counter("serve.jobs_cancelled"),
+		hQueueNS:    reg.Histogram("serve.job_queue_ns", latencyBuckets),
+		hRunNS:      reg.Histogram("serve.job_run_ns", latencyBuckets),
+		hTotalNS:    reg.Histogram("serve.job_total_ns", latencyBuckets),
+	}
+	reg.Gauge("serve.workers").Set(int64(cfg.Workers))
+	reg.Gauge("serve.queue_capacity").Set(int64(cfg.QueueDepth))
+	return s
+}
+
+// Start binds the listener, launches the worker pool, and serves HTTP in
+// the background. It returns once the server accepts connections.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("service: listen %s: %w", s.cfg.Addr, err)
+	}
+	s.ln = ln
+	ctx, cancel := context.WithCancel(context.Background())
+	s.cancelWorkers = cancel
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.workerWG.Add(1)
+		go func(slot int) {
+			defer s.workerWG.Done()
+			s.workerLoop(ctx, slot)
+		}(i)
+	}
+	s.httpSrv = &http.Server{Handler: s.Handler()}
+	go func() { _ = s.httpSrv.Serve(ln) }()
+	return nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return s.cfg.Addr
+	}
+	return s.ln.Addr().String()
+}
+
+// Handler builds the service's HTTP mux: the job API plus the
+// observability endpoints (/metricsz, /debug/vars, /debug/pprof) and the
+// health probes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/v1/jobs", s.handleJobs)
+	mux.HandleFunc("/api/v1/jobs/", s.handleJob)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if s.draining.Load() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	})
+	obs.Register(mux, s.ob.Metrics)
+	return mux
+}
+
+// Drain gracefully shuts the server down: admissions stop (submit → 503,
+// /readyz → 503), every already-admitted job — queued or running — is
+// finished, then the workers and the HTTP listener stop. If ctx expires
+// first, outstanding jobs are cancelled and Drain returns ctx's error
+// after the workers exit.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	s.q.close()
+
+	done := make(chan struct{})
+	go func() { s.workerWG.Wait(); close(done) }()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.cancelOutstanding()
+		s.cancelWorkers()
+		<-done
+	}
+	s.shutdownHTTP()
+	s.stopped.Store(true)
+	return err
+}
+
+// Close hard-stops the server: cancels every job, closes the queue and
+// the listener, and waits for the workers.
+func (s *Server) Close() error {
+	s.draining.Store(true)
+	s.q.close()
+	s.cancelOutstanding()
+	if s.cancelWorkers != nil {
+		s.cancelWorkers()
+	}
+	s.workerWG.Wait()
+	s.shutdownHTTP()
+	s.stopped.Store(true)
+	return nil
+}
+
+func (s *Server) shutdownHTTP() {
+	if s.httpSrv == nil {
+		return
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = s.httpSrv.Shutdown(sctx)
+}
+
+// cancelOutstanding cancels every live job (queue tombstones included).
+func (s *Server) cancelOutstanding() {
+	now := time.Now()
+	for _, j := range s.liveJobs() {
+		s.q.remove(j.id)
+		j.requestCancel(now)
+	}
+}
+
+// liveJobs snapshots the non-terminal jobs.
+func (s *Server) liveJobs() []*job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []*job
+	for _, j := range s.jobs {
+		if !j.currentStatus().Terminal() {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// workerLoop pops and executes jobs until the queue closes.
+func (s *Server) workerLoop(ctx context.Context, slot int) {
+	for {
+		j, ok := s.q.pop()
+		if !ok {
+			return
+		}
+		s.mQueueDepth.Set(int64(s.q.depth()))
+		s.runJob(ctx, slot, j)
+	}
+}
+
+// runJob executes one admitted job on a worker slot.
+func (s *Server) runJob(ctx context.Context, slot int, j *job) {
+	now := time.Now()
+	timeout := s.cfg.DefaultTimeout
+	if j.spec.TimeoutMS > 0 {
+		timeout = time.Duration(j.spec.TimeoutMS) * time.Millisecond
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+		}
+	}
+	jctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	if !j.setRunning(now, cancel) {
+		// Cancelled while queued and already finished; nothing to run.
+		return
+	}
+	s.hQueueNS.Observe(now.Sub(j.submitted).Nanoseconds())
+	s.mInflight.Add(1)
+	defer s.mInflight.Add(-1)
+
+	// The submit handler compiled the circuit at admission and pinned it
+	// on the job, so cache eviction between admission and execution can't
+	// fail the run.
+	cc := j.cc
+
+	// One engine-metrics namespace and one trace lane per worker slot:
+	// bounded registry growth no matter how many jobs run.
+	prefix := fmt.Sprintf("serve.worker%d.", slot)
+	engineOb := s.ob
+	if j.spec.Engine == "csim-P" {
+		// csim-P publishes under its own fixed worker prefixes, which
+		// concurrent jobs would trample; give it the tracer only.
+		engineOb = &obs.Observer{Tracer: s.ob.Tracer}
+	}
+	sp := s.ob.SpanTID(fmt.Sprintf("%s/%s/%s", j.id, j.spec.Engine, circuitLabel(&j.spec)), slot+1)
+	rv, err := execute(jctx, &j.spec, cc, engineOb, prefix, s.cfg.EngineWorkers)
+	sp.End()
+
+	finished := time.Now()
+	s.hRunNS.Observe(finished.Sub(now).Nanoseconds())
+	s.hTotalNS.Observe(finished.Sub(j.submitted).Nanoseconds())
+	switch {
+	case err == nil:
+		rv.CacheHit = j.cacheHit
+		s.lastRunNS.Store(rv.RunNS)
+		s.finishJob(j, StatusDone, rv, "")
+	case errors.Is(err, context.Canceled):
+		s.finishJob(j, StatusCancelled, nil, "cancelled while running")
+	case errors.Is(err, context.DeadlineExceeded):
+		s.finishJob(j, StatusFailed, nil, fmt.Sprintf("timeout after %s", timeout))
+	default:
+		s.finishJob(j, StatusFailed, nil, err.Error())
+	}
+}
+
+// finishJob records the terminal state, bumps the status counters, and
+// applies the retention bound.
+func (s *Server) finishJob(j *job, status Status, rv *ResultView, errMsg string) {
+	j.finish(status, time.Now(), rv, errMsg)
+	switch j.currentStatus() {
+	case StatusDone:
+		s.mCompleted.Inc()
+	case StatusFailed:
+		s.mFailed.Inc()
+	case StatusCancelled:
+		s.mCancelled.Inc()
+	}
+	s.mu.Lock()
+	s.finished = append(s.finished, j.id)
+	for len(s.finished) > s.cfg.Retained {
+		evict := s.finished[0]
+		s.finished = s.finished[1:]
+		delete(s.jobs, evict)
+	}
+	s.mu.Unlock()
+}
+
+func circuitLabel(spec *JobSpec) string {
+	if spec.Circuit != "" {
+		return spec.Circuit
+	}
+	return spec.BenchName
+}
+
+// handleJobs serves POST /api/v1/jobs (submit) and GET /api/v1/jobs
+// (list).
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		s.handleSubmit(w, r)
+	case http.MethodGet:
+		s.handleList(w)
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "use POST to submit or GET to list", nil)
+	}
+}
+
+// handleSubmit admits one job: decode (oversized body → 413), validate
+// (→ 400), compile through the cache (malformed netlist → structured
+// 400), then enqueue (full → 429 + Retry-After).
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining", nil)
+		return
+	}
+	// The JSON framing adds overhead beyond the inline netlist itself;
+	// allow a fixed envelope on top of the configured inline bound.
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxInlineBytes+64<<10)
+	var spec JobSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit), nil)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "malformed JSON body: "+err.Error(), nil)
+		return
+	}
+	if int64(len(spec.Bench)) > s.cfg.MaxInlineBytes {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("inline netlist is %d bytes, limit %d", len(spec.Bench), s.cfg.MaxInlineBytes), nil)
+		return
+	}
+	if int64(len(spec.Vectors)) > s.cfg.MaxInlineBytes {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("inline vectors are %d bytes, limit %d", len(spec.Vectors), s.cfg.MaxInlineBytes), nil)
+		return
+	}
+	if err := spec.normalize(); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error(), nil)
+		return
+	}
+
+	// Compile (or hit the cache) at admission so malformed netlists are
+	// rejected with diagnostics immediately instead of failing the job
+	// later, and so the queue only ever holds runnable work.
+	sp := s.ob.Span("compile/" + circuitLabel(&spec))
+	cc, hit, err := s.cache.Lookup(&spec)
+	sp.End()
+	if err != nil {
+		var ce *CompileError
+		if errors.As(err, &ce) {
+			writeError(w, http.StatusBadRequest, ce.Msg, ce.Problems)
+			return
+		}
+		writeError(w, http.StatusBadRequest, err.Error(), nil)
+		return
+	}
+	// Vector validation needs the circuit's PI count, so it happens
+	// post-compile; inline vector text errors are 400s too.
+	if _, err := buildVectors(&spec, cc); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error(), nil)
+		return
+	}
+
+	s.mu.Lock()
+	s.seq++
+	id := fmt.Sprintf("j%d", s.seq)
+	j := newJob(id, spec, time.Now())
+	j.cc, j.cacheHit = cc, hit
+	s.jobs[id] = j
+	s.mu.Unlock()
+
+	if !s.q.push(j) {
+		s.mu.Lock()
+		delete(s.jobs, id)
+		s.mu.Unlock()
+		s.mRejected.Inc()
+		retry := s.retryAfter()
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", retry))
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("queue full (%d queued); retry after %ds", s.q.depth(), retry), nil)
+		return
+	}
+	s.mSubmitted.Inc()
+	s.mQueueDepth.Set(int64(s.q.depth()))
+	writeJSON(w, http.StatusAccepted, j.view())
+}
+
+// retryAfter estimates, in whole seconds (>= 1), when a queue slot
+// should free up: one queue's worth of the most recent job run time
+// spread over the worker pool.
+func (s *Server) retryAfter() int {
+	run := s.lastRunNS.Load()
+	if run <= 0 {
+		return 1
+	}
+	est := time.Duration(run) * time.Duration(s.cfg.QueueDepth) / time.Duration(s.cfg.Workers) / 4
+	secs := int(est / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}
+
+// handleList serves job summaries sorted by ID.
+func (s *Server) handleList(w http.ResponseWriter) {
+	s.mu.Lock()
+	views := make([]JobView, 0, len(s.jobs))
+	ids := make([]string, 0, len(s.jobs))
+	for id := range s.jobs {
+		ids = append(ids, id)
+	}
+	jobs := make([]*job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	sort.Slice(jobs, func(i, k int) bool { return jobIDLess(jobs[i].id, jobs[k].id) })
+	for _, j := range jobs {
+		views = append(views, j.view())
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+}
+
+// jobIDLess orders "j<seq>" IDs numerically.
+func jobIDLess(a, b string) bool {
+	if len(a) != len(b) {
+		return len(a) < len(b)
+	}
+	return a < b
+}
+
+// handleJob serves GET (status) and DELETE (cancel) on
+// /api/v1/jobs/<id>.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/api/v1/jobs/")
+	if id == "" || strings.Contains(id, "/") {
+		writeError(w, http.StatusNotFound, "no such job", nil)
+		return
+	}
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no such job %q", id), nil)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, j.view())
+	case http.MethodDelete:
+		s.cancelJob(w, j)
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "use GET for status or DELETE to cancel", nil)
+	}
+}
+
+// cancelJob cancels a live job. A queued job is removed from the queue
+// first — freeing its admission slot immediately — then finished as
+// cancelled; a running job gets its context cancelled and reports
+// cancelled when the engine notices.
+func (s *Server) cancelJob(w http.ResponseWriter, j *job) {
+	if s.q.remove(j.id) {
+		j.requestCancel(time.Now())
+		s.mCancelled.Inc()
+		s.mQueueDepth.Set(int64(s.q.depth()))
+		s.mu.Lock()
+		s.finished = append(s.finished, j.id)
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, j.view())
+		return
+	}
+	j.requestCancel(time.Now())
+	writeJSON(w, http.StatusOK, j.view())
+}
+
+// errorBody is the structured error response.
+type errorBody struct {
+	// Error is the one-line summary.
+	Error string `json:"error"`
+	// Problems carries individual diagnostics (netcheck output) when the
+	// failure is a malformed netlist.
+	Problems []string `json:"problems,omitempty"`
+}
+
+func writeError(w http.ResponseWriter, code int, msg string, problems []string) {
+	writeJSON(w, code, errorBody{Error: msg, Problems: problems})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

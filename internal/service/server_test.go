@@ -1,0 +1,483 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/iscas"
+	"repro/internal/obs"
+	"repro/internal/serial"
+	"repro/internal/vectors"
+)
+
+// startServer brings up a server on a loopback port and hands back a
+// client; both are torn down with the test.
+func startServer(t *testing.T, cfg Config) (*Server, *Client) {
+	t.Helper()
+	cfg.Addr = "127.0.0.1:0"
+	s := New(cfg)
+	if err := s.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	return s, NewClient("http://" + s.Addr())
+}
+
+func ctxT(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// oracle runs the serial simulator on the same workload a job spec
+// describes, for result comparison.
+func oracle(t *testing.T, circuit, model string, n int, seed int64) *faults.Result {
+	t.Helper()
+	c, err := iscas.Get(circuit)
+	if err != nil {
+		t.Fatalf("iscas.Get(%s): %v", circuit, err)
+	}
+	var u *faults.Universe
+	switch model {
+	case "stuck":
+		u = faults.StuckCollapsed(c)
+	case "transition":
+		u = faults.Transition(c)
+	default:
+		t.Fatalf("oracle: model %q", model)
+	}
+	return serial.Simulate(u, vectors.Random(c, n, seed))
+}
+
+func TestJobMatchesSerialOracle(t *testing.T) {
+	_, cl := startServer(t, Config{Workers: 2})
+	ctx := ctxT(t)
+	want := oracle(t, "s298", "stuck", 40, 7)
+	for _, engine := range []string{"csim", "csim-V", "csim-M", "csim-MV", "csim-P", "PROOFS", "serial"} {
+		v, err := cl.Run(ctx, JobSpec{Circuit: "s298", Engine: engine, Random: 40, Seed: 7}, time.Millisecond)
+		if err != nil {
+			t.Fatalf("%s: %v", engine, err)
+		}
+		if v.Status != StatusDone {
+			t.Fatalf("%s: status %s, error %q", engine, v.Status, v.Error)
+		}
+		r := v.Result
+		if r == nil {
+			t.Fatalf("%s: done with nil result", engine)
+		}
+		if r.Detected != want.NumDet || r.PotOnly != want.NumPotOnly() {
+			t.Errorf("%s: det/pot = %d/%d, oracle %d/%d",
+				engine, r.Detected, r.PotOnly, want.NumDet, want.NumPotOnly())
+		}
+		if r.Faults != len(want.Detected) {
+			t.Errorf("%s: faults = %d, oracle universe %d", engine, r.Faults, len(want.Detected))
+		}
+	}
+}
+
+func TestTransitionModel(t *testing.T) {
+	_, cl := startServer(t, Config{Workers: 1})
+	ctx := ctxT(t)
+	want := oracle(t, "s344", "transition", 30, 3)
+	v, err := cl.Run(ctx, JobSpec{Circuit: "s344", Model: "transition", Random: 30, Seed: 3}, time.Millisecond)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if v.Result == nil || v.Result.Detected != want.NumDet {
+		t.Fatalf("transition result %+v, oracle det %d", v.Result, want.NumDet)
+	}
+}
+
+func TestInlineBenchAndCacheHit(t *testing.T) {
+	s, cl := startServer(t, Config{Workers: 1})
+	ctx := ctxT(t)
+	spec := JobSpec{Bench: iscas.S27Bench, BenchName: "mine", Random: 16, Seed: 2}
+	v1, err := cl.Run(ctx, spec, time.Millisecond)
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	if v1.Result == nil || v1.Result.Circuit != "mine" {
+		t.Fatalf("first result: %+v", v1.Result)
+	}
+	if v1.Result.CacheHit {
+		t.Error("first submission reported a cache hit")
+	}
+	v2, err := cl.Run(ctx, spec, time.Millisecond)
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if !v2.Result.CacheHit {
+		t.Error("resubmitted identical netlist missed the cache")
+	}
+	if v1.Result.Detected != v2.Result.Detected {
+		t.Errorf("detections differ across cache hit: %d vs %d", v1.Result.Detected, v2.Result.Detected)
+	}
+	if got := s.cache.Len(); got != 1 {
+		t.Errorf("cache holds %d entries, want 1", got)
+	}
+	m, err := cl.Metricsz(ctx)
+	if err != nil {
+		t.Fatalf("Metricsz: %v", err)
+	}
+	// One cache lookup per submission: the first misses, the second hits.
+	if m["serve.cache_hits"].Value != 1 {
+		t.Errorf("cache_hits = %d, want 1", m["serve.cache_hits"].Value)
+	}
+	if m["serve.cache_misses"].Value != 1 {
+		t.Errorf("cache_misses = %d, want 1", m["serve.cache_misses"].Value)
+	}
+	if m["serve.jobs_completed"].Value != 2 {
+		t.Errorf("jobs_completed = %d, want 2", m["serve.jobs_completed"].Value)
+	}
+}
+
+func TestOversizedInlineNetlistIs413(t *testing.T) {
+	_, cl := startServer(t, Config{Workers: 1, MaxInlineBytes: 2048})
+	ctx := ctxT(t)
+	big := strings.Repeat("# padding line\n", 1024)
+	_, err := cl.Submit(ctx, JobSpec{Bench: iscas.S27Bench + big, Random: 4})
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized inline netlist: got %v, want 413", err)
+	}
+}
+
+func TestMalformedBenchIsStructured400(t *testing.T) {
+	_, cl := startServer(t, Config{Workers: 1})
+	ctx := ctxT(t)
+	// G9 is driven but never defined as input/gate: netcheck territory.
+	bad := "INPUT(G1)\nOUTPUT(G2)\nG2 = AND(G1, G9)\n"
+	_, err := cl.Submit(ctx, JobSpec{Bench: bad, Random: 4})
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("malformed bench: got %v, want *APIError", err)
+	}
+	if ae.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed bench: status %d, want 400", ae.StatusCode)
+	}
+	if len(ae.Problems) == 0 {
+		t.Fatalf("malformed bench: no diagnostics in %v", ae)
+	}
+	found := false
+	for _, p := range ae.Problems {
+		if strings.Contains(p, "G9") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("diagnostics do not mention the undriven net: %q", ae.Problems)
+	}
+}
+
+func TestSpecValidation400(t *testing.T) {
+	_, cl := startServer(t, Config{Workers: 1})
+	ctx := ctxT(t)
+	cases := []struct {
+		name string
+		spec JobSpec
+	}{
+		{"neither circuit nor bench", JobSpec{Random: 4}},
+		{"both circuit and bench", JobSpec{Circuit: "s27", Bench: iscas.S27Bench, Random: 4}},
+		{"unknown engine", JobSpec{Circuit: "s27", Engine: "csim-X", Random: 4}},
+		{"unknown model", JobSpec{Circuit: "s27", Model: "bridging", Random: 4}},
+		{"PROOFS transition", JobSpec{Circuit: "s27", Engine: "PROOFS", Model: "transition", Random: 4}},
+		{"no vectors", JobSpec{Circuit: "s27"}},
+		{"both vector specs", JobSpec{Circuit: "s27", Random: 4, Vectors: "0000\n"}},
+		{"unknown suite circuit", JobSpec{Circuit: "s999999", Random: 4}},
+		{"bad inline vectors", JobSpec{Circuit: "s27", Vectors: "01\n"}},
+	}
+	for _, tc := range cases {
+		_, err := cl.Submit(ctx, tc.spec)
+		var ae *APIError
+		if !errors.As(err, &ae) || ae.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: got %v, want 400", tc.name, err)
+		}
+	}
+}
+
+// slowSpec is a job long enough to still be running when the test gets
+// around to cancelling it (csim checks ctx between cycles, so
+// cancellation is prompt regardless of length).
+func slowSpec() JobSpec {
+	return JobSpec{Circuit: "s5378", Engine: "csim", Random: 200000, Seed: 1}
+}
+
+func TestQueueFullIs429AndCancelFreesSlot(t *testing.T) {
+	s, cl := startServer(t, Config{Workers: 1, QueueDepth: 1})
+	ctx := ctxT(t)
+
+	running, err := cl.Submit(ctx, slowSpec())
+	if err != nil {
+		t.Fatalf("submit running job: %v", err)
+	}
+	// Wait until the worker picks it up so the next submission queues.
+	waitStatus(t, cl, running.ID, StatusRunning)
+
+	queued, err := cl.Submit(ctx, slowSpec())
+	if err != nil {
+		t.Fatalf("submit queued job: %v", err)
+	}
+	if queued.Status != StatusQueued {
+		t.Fatalf("second job status %s, want queued", queued.Status)
+	}
+
+	// Queue (depth 1) is now full: a third submission is rejected, fast.
+	start := time.Now()
+	_, err = cl.Submit(ctx, JobSpec{Circuit: "s27", Random: 4})
+	var qf *QueueFullError
+	if !errors.As(err, &qf) {
+		t.Fatalf("overflow submit: got %v, want *QueueFullError", err)
+	}
+	if qf.RetryAfter < time.Second {
+		t.Errorf("Retry-After %s, want >= 1s", qf.RetryAfter)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("overflow submission took %s; admission control must not block", elapsed)
+	}
+
+	// Cancelling the queued job frees its admission slot immediately.
+	cv, err := cl.Cancel(ctx, queued.ID)
+	if err != nil {
+		t.Fatalf("cancel queued: %v", err)
+	}
+	if cv.Status != StatusCancelled {
+		t.Fatalf("cancelled queued job status %s", cv.Status)
+	}
+	if _, err := cl.Submit(ctx, JobSpec{Circuit: "s27", Random: 4}); err != nil {
+		t.Fatalf("submission after freeing the slot was rejected: %v", err)
+	}
+
+	// Cancel the long runner too and confirm it lands cancelled.
+	if _, err := cl.Cancel(ctx, running.ID); err != nil {
+		t.Fatalf("cancel running: %v", err)
+	}
+	rv := waitTerminal(t, cl, running.ID)
+	if rv.Status != StatusCancelled {
+		t.Fatalf("cancelled running job status %s, error %q", rv.Status, rv.Error)
+	}
+	_ = s
+}
+
+func TestJobTimeoutFails(t *testing.T) {
+	_, cl := startServer(t, Config{Workers: 1})
+	ctx := ctxT(t)
+	spec := slowSpec()
+	spec.TimeoutMS = 50
+	v, err := cl.Run(ctx, spec, time.Millisecond)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if v.Status != StatusFailed || !strings.Contains(v.Error, "timeout") {
+		t.Fatalf("timed-out job: status %s, error %q", v.Status, v.Error)
+	}
+}
+
+func TestGracefulDrainFinishesInFlight(t *testing.T) {
+	s, cl := startServer(t, Config{Workers: 2, QueueDepth: 16})
+	ctx := ctxT(t)
+	var ids []string
+	for i := 0; i < 6; i++ {
+		v, err := cl.Submit(ctx, JobSpec{Circuit: "s386", Random: 60, Seed: int64(i + 1)})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		ids = append(ids, v.ID)
+	}
+	dctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Drain(dctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	// Post-drain, every admitted job must have completed with a result.
+	for _, id := range ids {
+		s.mu.Lock()
+		j := s.jobs[id]
+		s.mu.Unlock()
+		if j == nil {
+			t.Fatalf("job %s evicted during drain", id)
+		}
+		v := j.view()
+		if v.Status != StatusDone || v.Result == nil {
+			t.Errorf("job %s after drain: status %s, error %q", id, v.Status, v.Error)
+		}
+	}
+}
+
+func TestDrainRejectsNewSubmissions(t *testing.T) {
+	s, cl := startServer(t, Config{Workers: 1})
+	ctx := ctxT(t)
+	dctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(dctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	_, err := cl.Submit(ctx, JobSpec{Circuit: "s27", Random: 4})
+	var ae *APIError
+	if err == nil {
+		t.Fatal("submission during/after drain succeeded")
+	}
+	if errors.As(err, &ae) && ae.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("drained submit: status %d, want 503", ae.StatusCode)
+	}
+}
+
+func TestConcurrentSubmissions(t *testing.T) {
+	_, cl := startServer(t, Config{Workers: 4, QueueDepth: 128})
+	ctx := ctxT(t)
+	want := oracle(t, "s298", "stuck", 25, 9)
+	const n = 32
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := cl.Run(ctx, JobSpec{Circuit: "s298", Random: 25, Seed: 9}, time.Millisecond)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if v.Status != StatusDone || v.Result == nil {
+				errs <- fmt.Errorf("job %s: status %s, error %q", v.ID, v.Status, v.Error)
+				return
+			}
+			if v.Result.Detected != want.NumDet {
+				errs <- fmt.Errorf("job %s: det %d, oracle %d", v.ID, v.Result.Detected, want.NumDet)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	m, err := cl.Metricsz(ctx)
+	if err != nil {
+		t.Fatalf("Metricsz: %v", err)
+	}
+	if m["serve.jobs_completed"].Value != n {
+		t.Errorf("jobs_completed = %d, want %d", m["serve.jobs_completed"].Value, n)
+	}
+	// One lookup per job at admission; only the very first can miss.
+	if hits := m["serve.cache_hits"].Value; hits < n-1 {
+		t.Errorf("cache_hits = %d, want >= %d", hits, n-1)
+	}
+}
+
+func TestHealthAndReadyEndpoints(t *testing.T) {
+	s, cl := startServer(t, Config{Workers: 1})
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(cl.BaseURL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s = %d, want 200", path, resp.StatusCode)
+		}
+	}
+	dctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(dctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	// The listener is down post-drain; readiness flipping during drain is
+	// covered by TestDrainRejectsNewSubmissions via the 503 path.
+}
+
+func TestJobNotFound404(t *testing.T) {
+	_, cl := startServer(t, Config{Workers: 1})
+	ctx := ctxT(t)
+	_, err := cl.Job(ctx, "j999")
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing job: got %v, want 404", err)
+	}
+}
+
+func TestRetentionEvictsOldFinishedJobs(t *testing.T) {
+	s, cl := startServer(t, Config{Workers: 1, Retained: 3})
+	ctx := ctxT(t)
+	var first string
+	for i := 0; i < 6; i++ {
+		v, err := cl.Run(ctx, JobSpec{Circuit: "s27", Random: 4, Seed: int64(i + 1)}, time.Millisecond)
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if i == 0 {
+			first = v.ID
+		}
+	}
+	s.mu.Lock()
+	n := len(s.jobs)
+	_, firstAlive := s.jobs[first]
+	s.mu.Unlock()
+	if n > 3 {
+		t.Errorf("retained %d finished jobs, bound is 3", n)
+	}
+	if firstAlive {
+		t.Errorf("oldest job %s survived retention eviction", first)
+	}
+	_, err := cl.Job(ctx, first)
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.StatusCode != http.StatusNotFound {
+		t.Fatalf("evicted job lookup: got %v, want 404", err)
+	}
+}
+
+func TestObsTracerRecordsJobSpans(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(reg)
+	_, cl := startServer(t, Config{Workers: 1, Obs: &obs.Observer{Metrics: reg, Tracer: tr}})
+	ctx := ctxT(t)
+	if _, err := cl.Run(ctx, JobSpec{Circuit: "s27", Random: 4}, time.Millisecond); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	found := false
+	for name := range tr.PhaseDurations() {
+		if strings.Contains(name, "j1/csim-MV/s27") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no job span recorded on the tracer")
+	}
+}
+
+func waitStatus(t *testing.T, cl *Client, id string, want Status) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		v, err := cl.Job(context.Background(), id)
+		if err != nil {
+			t.Fatalf("poll %s: %v", id, err)
+		}
+		if v.Status == want {
+			return
+		}
+		if v.Status.Terminal() {
+			t.Fatalf("job %s reached %s while waiting for %s (error %q)", id, v.Status, want, v.Error)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %s", id, want)
+}
+
+func waitTerminal(t *testing.T, cl *Client, id string) JobView {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	v, err := cl.Wait(ctx, id, time.Millisecond)
+	if err != nil {
+		t.Fatalf("wait %s: %v", id, err)
+	}
+	return v
+}
