@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain go commands underneath.
 
-.PHONY: build test race lint bench bench-gate baseline tables verify-tables
+.PHONY: build test race lint fuzz bench bench-gate baseline tables verify-tables
 
 build:
 	go build ./...
@@ -16,6 +16,12 @@ lint:
 	go build -o bin/simlint ./cmd/simlint
 	go vet -vettool=bin/simlint ./...
 	go run ./cmd/csim -suite s1494 -check
+
+# Differential fuzzing: replay the fixed corpus, then let the native
+# fuzzer search for disagreeing seeds for 30s (raise -fuzztime at will).
+fuzz:
+	go test ./internal/integration/ -run Fuzz -count=1
+	go test ./internal/integration/ -fuzz=FuzzDifferential -fuzztime=30s
 
 # Full benchmark suite -> BENCH_<timestamp>.json (several minutes).
 bench:

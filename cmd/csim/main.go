@@ -9,8 +9,11 @@
 // built-in benchmark suite; vectors from a file (one line of 0/1/X per
 // cycle) or a seeded random generator. The engine is one of the paper's
 // variants (csim, csim-V, csim-M, csim-MV), the fault-partition parallel
-// engine (csim-P, sharded over -workers goroutines), the PROOFS baseline,
-// or the serial oracle.
+// engine (csim-P, sharded over -workers goroutines), the vector-partition
+// engine (csim-V2, speculation + repair over -shards windows), the 2-D
+// grid (csim-grid, fault shards × vector windows via -shards KxW, or
+// scheduler-planned with -shards auto), the PROOFS baseline, or the
+// serial oracle.
 //
 // Observability (see OBSERVABILITY.md): -metrics-out snapshots the metric
 // registry to JSON, -trace-out writes a chrome://tracing phase trace,
@@ -48,8 +51,9 @@ func main() {
 		vectorFile  = flag.String("vectors", "", "path to a test vector file")
 		randomN     = flag.Int("random", 0, "generate this many random vectors instead")
 		seed        = flag.Int64("seed", 1, "random vector seed")
-		engine      = flag.String("engine", "csim-MV", "csim | csim-V | csim-M | csim-MV | csim-P | PROOFS | serial")
+		engine      = flag.String("engine", "csim-MV", "csim | csim-V | csim-M | csim-MV | csim-P | csim-V2 | csim-grid | PROOFS | serial")
 		workers     = flag.Int("workers", runtime.NumCPU(), "csim-P fault-partition worker count")
+		shards      = flag.String("shards", "auto", "csim-V2 window count (N) or csim-grid shape (KxW fault shards x windows; 'auto' lets the scheduler pick)")
 		model       = flag.String("faults", "stuck", "fault model: stuck | stuck-all | transition")
 		check       = flag.Bool("check", false, "verify netlist/fault-list/macro-plan invariants and exit without simulating")
 		verbose     = flag.Bool("v", false, "list undetected faults")
@@ -154,6 +158,24 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+	case string(harness.CsimV2):
+		_, w, err2 := parseShards(*shards, false)
+		if err2 != nil {
+			fatal(err2)
+		}
+		m, err = harness.RunVectorShardedObserved(u, vs, w, ob)
+		if err != nil {
+			fatal(err)
+		}
+	case string(harness.CsimGrid):
+		k, w, err2 := parseShards(*shards, true)
+		if err2 != nil {
+			fatal(err2)
+		}
+		m, err = harness.RunGridObserved(u, vs, k, w, ob)
+		if err != nil {
+			fatal(err)
+		}
 	default:
 		switch eng := harness.Engine(*engine); eng {
 		case harness.CsimPlain, harness.CsimV, harness.CsimM, harness.CsimMV,
@@ -173,6 +195,9 @@ func main() {
 	fmt.Printf("engine:    %s\n", m.Engine)
 	if m.Workers > 0 {
 		fmt.Printf("workers:   %d\n", m.Workers)
+	}
+	if m.Windows > 0 {
+		fmt.Printf("windows:   %d\n", m.Windows)
 	}
 	fmt.Printf("faults:    %d (%s)\n", m.Faults, *model)
 	fmt.Printf("patterns:  %d\n", m.Patterns)
@@ -337,9 +362,42 @@ func runCheck(c *netlist.Circuit, model string) error {
 // values, in the spelling the flags document.
 var (
 	engineNames = []string{"csim", "csim-V", "csim-M", "csim-MV",
-		"csim-MV-eagerdrop", "csim-MV-reconvergent", "csim-P", "PROOFS", "serial"}
+		"csim-MV-eagerdrop", "csim-MV-reconvergent", "csim-P", "csim-V2",
+		"csim-grid", "PROOFS", "serial"}
 	modelNames = []string{"stuck", "stuck-all", "transition"}
 )
+
+// parseShards resolves the -shards flag. "auto" defers the shape to the
+// engine default (csim-V2: one window per CPU) or the unified scheduler
+// (csim-grid). A bare "N" is a window count for csim-V2 and an N×1
+// fault-shard split for csim-grid; "KxW" pins a full grid shape (csim-V2
+// accepts it only with K=1).
+func parseShards(spec string, grid bool) (k, w int, err error) {
+	if spec == "" || spec == "auto" {
+		return 0, 0, nil
+	}
+	if i := strings.IndexByte(spec, 'x'); i >= 0 {
+		k, err = strconv.Atoi(spec[:i])
+		if err == nil {
+			w, err = strconv.Atoi(spec[i+1:])
+		}
+		if err != nil || k < 1 || w < 1 {
+			return 0, 0, fmt.Errorf("-shards %q: want KxW with K,W >= 1", spec)
+		}
+		if !grid && k != 1 {
+			return 0, 0, fmt.Errorf("-shards %q: csim-V2 splits vectors only; use -engine csim-grid for fault shards", spec)
+		}
+		return k, w, nil
+	}
+	n, err := strconv.Atoi(spec)
+	if err != nil || n < 1 {
+		return 0, 0, fmt.Errorf("-shards %q: want auto, N or KxW", spec)
+	}
+	if grid {
+		return n, 1, nil
+	}
+	return 0, n, nil
+}
 
 // validateSelections rejects unknown -engine/-faults/-suite values with
 // a one-line usage hint listing the accepted names.

@@ -72,6 +72,17 @@ type (
 	// ParallelConfig configures the fault-partition parallel engine
 	// (csim-P): a worker count plus the per-partition variant.
 	ParallelConfig = parallel.Options
+	// VectorConfig configures the vector-partition parallel engine
+	// (csim-V2): a window count plus the per-window variant.
+	VectorConfig = parallel.VOptions
+	// GridConfig configures the 2-D fault×vector grid engine (csim-grid).
+	GridConfig = parallel.GridOptions
+	// GridAutoConfig configures a scheduler-planned grid run.
+	GridAutoConfig = parallel.AutoOptions
+	// GridPlan is the unified scheduler's K×W split decision.
+	GridPlan = parallel.Plan
+	// JobShape describes one simulation job to the unified scheduler.
+	JobShape = parallel.JobShape
 	// Simulator is the concurrent fault simulator (the paper's csim).
 	Simulator = csim.Simulator
 	// SimStats instruments a concurrent-simulation run.
@@ -174,6 +185,42 @@ func CsimP(workers int) ParallelConfig {
 // returns the merged detections plus merged instrumentation counters.
 func SimulateParallel(u *Universe, vs *Vectors, cfg ParallelConfig) (*Result, SimStats, error) {
 	return parallel.Simulate(u, vs, cfg)
+}
+
+// CsimV2 configures the vector-partition parallel engine: the csim-MV
+// variant over the vector sequence split into `windows` concurrent
+// speculative windows (windows <= 0 means runtime.NumCPU()), stitched
+// with targeted repair runs. The merged result is bit-identical to the
+// single-threaded run regardless of window count.
+func CsimV2(windows int) VectorConfig {
+	return parallel.VOptions{Windows: windows, Config: csim.MV()}
+}
+
+// SimulateVectorParallel runs the csim-V2 engine and returns the merged
+// detections plus summed instrumentation counters.
+func SimulateVectorParallel(u *Universe, vs *Vectors, cfg VectorConfig) (*Result, SimStats, error) {
+	return parallel.SimulateVectorSharded(u, vs, cfg)
+}
+
+// CsimGrid configures the 2-D engine: faultShards fault partitions
+// crossed with windows vector windows (each axis <= 0 defaults to 1).
+func CsimGrid(faultShards, windows int) GridConfig {
+	return parallel.GridOptions{FaultShards: faultShards, Windows: windows, Config: csim.MV()}
+}
+
+// SimulateGrid runs the csim-grid engine at the configured shape.
+func SimulateGrid(u *Universe, vs *Vectors, cfg GridConfig) (*Result, SimStats, error) {
+	return parallel.SimulateGrid(u, vs, cfg)
+}
+
+// PlanGrid asks the unified scheduler for the K×W split it would use
+// for a job of the given shape. The decision is deterministic.
+func PlanGrid(sh JobShape) GridPlan { return parallel.Decide(sh) }
+
+// SimulateGridAuto lets the scheduler pick the grid shape for the job,
+// runs it, and returns the plan used alongside the merged result.
+func SimulateGridAuto(u *Universe, vs *Vectors, cfg GridAutoConfig) (*Result, SimStats, GridPlan, error) {
+	return parallel.SimulateAuto(u, vs, cfg)
 }
 
 // NewObserver builds a fully enabled observability bundle: a fresh

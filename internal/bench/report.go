@@ -41,8 +41,12 @@ type CellResult struct {
 	Model string `json:"model"`
 	// Vectors is the vector source spec ("det" or "rand:N").
 	Vectors string `json:"vectors"`
-	// Workers is the explicit csim-P partition count (0 elsewhere).
+	// Workers is the explicit csim-P partition / csim-grid fault-shard
+	// count (0 elsewhere).
 	Workers int `json:"workers,omitempty"`
+	// Windows is the explicit csim-V2 / csim-grid vector-window count
+	// (0 elsewhere).
+	Windows int `json:"windows,omitempty"`
 	// Heavy records that the cell ran once without warmup.
 	Heavy bool `json:"heavy,omitempty"`
 

@@ -144,6 +144,7 @@ func runCell(c Cell, opt Options) (CellResult, error) {
 		Model:    c.Model,
 		Vectors:  c.Vectors.String(),
 		Workers:  c.Workers,
+		Windows:  c.Windows,
 		Heavy:    c.Heavy,
 		Patterns: vs.Len(),
 		Faults:   u.NumFaults(),
@@ -200,9 +201,14 @@ func runOnce(c Cell, u *faults.Universe, vs *vectors.Set) (harness.Measurement, 
 	t0 := time.Now()
 	var m harness.Measurement
 	var err error
-	if c.Engine == harness.CsimP {
+	switch c.Engine {
+	case harness.CsimP:
 		m, err = harness.RunParallelObserved(u, vs, c.Workers, ob)
-	} else {
+	case harness.CsimV2:
+		m, err = harness.RunVectorShardedObserved(u, vs, c.Windows, ob)
+	case harness.CsimGrid:
+		m, err = harness.RunGridObserved(u, vs, c.Workers, c.Windows, ob)
+	default:
 		m, err = harness.RunObserved(c.Engine, u, vs, ob)
 	}
 	wall := time.Since(t0)

@@ -1,0 +1,158 @@
+package csim
+
+import (
+	"fmt"
+
+	"repro/internal/faults"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// Checkpoint is a complete, canonical snapshot of a simulator at a clock
+// boundary: restoring it into a fresh simulator over the same universe
+// and configuration continues the run bit-identically — same detections,
+// same fault-list contents, same Stats counters — as if the original had
+// never stopped. Arena layout (element indices, free-list order) is
+// deliberately absent: lists are stored as value sequences, so two
+// simulators in equivalent states produce equal Checkpoints regardless of
+// allocation history, and reflect.DeepEqual is a valid state comparison.
+//
+// The good trace (SetGoodTrace) and observability sinks are not part of
+// the checkpoint; attach the trace before Restore.
+type Checkpoint struct {
+	VecIndex   int
+	FirstCycle bool
+	GoodVal    []logic.V
+	GoodWord   []logic.Word
+	// Vis and Inv hold each gate's fault lists in list order (sorted by
+	// fault ID), including not-yet-reclaimed elements of dropped faults —
+	// lazy reclamation is part of the simulator's observable cost model.
+	Vis, Inv   [][]ElemState
+	Dropped    []bool
+	PrevDriver []logic.V
+	// Retrig and Sched preserve the pending re-trigger list and the event
+	// queue (level-major, in-bucket order) verbatim: in-bucket order
+	// cannot change results, but it does steer the transient element
+	// high-water mark, which Stats counts.
+	Retrig []netlist.GateID
+	Sched  []netlist.GateID
+	// PinEvent is each root's pending leaf-event mask.
+	PinEvent []uint32
+	Counters Ats
+	Result   *faults.Result
+}
+
+// ElemState is one fault element of a checkpointed list.
+type ElemState struct {
+	Fault int32
+	Word  logic.Word
+}
+
+// Checkpoint snapshots the simulator between Cycle calls.
+func (s *Simulator) Checkpoint() *Checkpoint {
+	n := len(s.c.Gates)
+	cp := &Checkpoint{
+		VecIndex:   s.vecIndex,
+		FirstCycle: s.firstCycle,
+		GoodVal:    append([]logic.V(nil), s.goodVal...),
+		GoodWord:   append([]logic.Word(nil), s.goodWord...),
+		Vis:        make([][]ElemState, n),
+		Inv:        make([][]ElemState, n),
+		Dropped:    append([]bool(nil), s.dropped...),
+		PinEvent:   append([]uint32(nil), s.pinEvent...),
+		Counters:   s.stats,
+		Result:     cloneResult(s.res),
+	}
+	if s.prevDriver != nil {
+		cp.PrevDriver = append([]logic.V(nil), s.prevDriver...)
+	}
+	if len(s.retrig) > 0 {
+		cp.Retrig = append([]netlist.GateID(nil), s.retrig...)
+	}
+	for l := range s.queue {
+		for _, r := range s.queue[l] {
+			cp.Sched = append(cp.Sched, r)
+		}
+	}
+	walk := func(head int32) []ElemState {
+		var out []ElemState
+		for idx := head; s.arena[idx].fault < s.sentinel; idx = s.arena[idx].next {
+			out = append(out, ElemState{Fault: s.arena[idx].fault, Word: s.arena[idx].word})
+		}
+		return out
+	}
+	for g := 0; g < n; g++ {
+		cp.Vis[g] = walk(s.vis[g])
+		cp.Inv[g] = walk(s.inv[g])
+	}
+	return cp
+}
+
+// Restore loads a checkpoint into a freshly constructed simulator built
+// over the same universe and configuration (and, for partition
+// simulators, the same fault subset). A good trace, if the original run
+// used one, must be attached with SetGoodTrace before restoring.
+func (s *Simulator) Restore(cp *Checkpoint) error {
+	if !s.firstCycle || s.vecIndex != 0 || s.stats.CurElems != 0 {
+		return fmt.Errorf("csim: Restore requires a fresh simulator")
+	}
+	n := len(s.c.Gates)
+	if len(cp.GoodVal) != n || len(cp.GoodWord) != n || len(cp.Vis) != n ||
+		len(cp.Inv) != n || len(cp.PinEvent) != n {
+		return fmt.Errorf("csim: checkpoint is for a %d-gate circuit, simulator has %d", len(cp.GoodVal), n)
+	}
+	if len(cp.Dropped) != len(s.dropped) {
+		return fmt.Errorf("csim: checkpoint covers %d faults, universe has %d", len(cp.Dropped)-1, len(s.dropped)-1)
+	}
+	if (cp.PrevDriver != nil) != (s.prevDriver != nil) {
+		return fmt.Errorf("csim: checkpoint and simulator disagree on transition-fault state")
+	}
+	s.vecIndex = cp.VecIndex
+	s.firstCycle = cp.FirstCycle
+	copy(s.goodVal, cp.GoodVal)
+	copy(s.goodWord, cp.GoodWord)
+	copy(s.dropped, cp.Dropped)
+	copy(s.pinEvent, cp.PinEvent)
+	if cp.PrevDriver != nil {
+		copy(s.prevDriver, cp.PrevDriver)
+	}
+	for g := 0; g < n; g++ {
+		s.vis[g] = s.rebuildList(cp.Vis[g])
+		s.inv[g] = s.rebuildList(cp.Inv[g])
+	}
+	s.retrig = s.retrig[:0]
+	for _, r := range cp.Retrig {
+		s.retrigger(r)
+	}
+	for _, r := range cp.Sched {
+		if int(r) < 0 || int(r) >= n || s.plan.ByRoot[r] == nil {
+			return fmt.Errorf("csim: checkpoint schedules gate %d, which is not a macro root", r)
+		}
+		s.scheduleRoot(r)
+	}
+	s.res = cloneResult(cp.Result)
+	// The rebuild above went through alloc/scheduleRoot, which count;
+	// the checkpointed counters are authoritative.
+	s.stats = cp.Counters
+	return nil
+}
+
+// rebuildList materializes a checkpointed list in the arena.
+func (s *Simulator) rebuildList(es []ElemState) int32 {
+	nb := newListBuilder()
+	for _, e := range es {
+		nb.append(s, s.alloc(e.Fault, e.Word, 0))
+	}
+	return nb.finish(s)
+}
+
+// cloneResult deep-copies a detection result.
+func cloneResult(r *faults.Result) *faults.Result {
+	return &faults.Result{
+		Universe:    r.Universe,
+		Detected:    append([]bool(nil), r.Detected...),
+		DetectedAt:  append([]int32(nil), r.DetectedAt...),
+		NumDet:      r.NumDet,
+		PotDetected: append([]bool(nil), r.PotDetected...),
+	}
+}

@@ -1,0 +1,180 @@
+package csim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/gen"
+	"repro/internal/goodsim"
+	"repro/internal/vectors"
+)
+
+func checkpointCircuit(t *testing.T, seed int64) (*faults.Universe, *faults.Universe, *vectors.Set) {
+	t.Helper()
+	c, err := gen.Generate(gen.Spec{
+		Name: fmt.Sprintf("cp%d", seed),
+		PIs:  5, POs: 4, DFFs: 7, Gates: 80, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return faults.StuckCollapsed(c), faults.Transition(c), vectors.Random(c, 60, seed)
+}
+
+// TestCheckpointRoundTripBitIdentical is the checkpoint property test:
+// snapshot → restore into a fresh simulator → resimulate the rest of the
+// window must be bit-identical to the uninterrupted run — same good and
+// faulty state, same fault-list contents, same Stats counters, same
+// detections. Checked across stuck-at and transition models, several
+// configurations, and several split points.
+func TestCheckpointRoundTripBitIdentical(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		stuck, trans, vs := checkpointCircuit(t, 6100+seed)
+		for _, model := range []struct {
+			name string
+			u    *faults.Universe
+		}{{"stuck", stuck}, {"transition", trans}} {
+			for _, cfg := range []Config{{}, MV()} {
+				for _, split := range []int{1, vs.Len() / 3, vs.Len() / 2, vs.Len() - 1} {
+					tag := fmt.Sprintf("seed %d %s macros=%v split=%d",
+						seed, model.name, cfg.Macros, split)
+
+					simA, err := New(model.u, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for i := 0; i < split; i++ {
+						simA.Cycle(vs.Vecs[i])
+					}
+					cp := simA.Checkpoint()
+					for i := split; i < vs.Len(); i++ {
+						simA.Cycle(vs.Vecs[i])
+					}
+					finalA := simA.Checkpoint()
+
+					simB, err := New(model.u, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := simB.Restore(cp); err != nil {
+						t.Fatalf("%s: restore: %v", tag, err)
+					}
+					if err := simB.CheckInvariants(); err != nil {
+						t.Fatalf("%s: invariants after restore: %v", tag, err)
+					}
+					for i := split; i < vs.Len(); i++ {
+						simB.Cycle(vs.Vecs[i])
+					}
+					finalB := simB.Checkpoint()
+
+					if !reflect.DeepEqual(finalA, finalB) {
+						t.Fatalf("%s: resumed run diverged from uninterrupted run\nA: %+v\nB: %+v",
+							tag, finalA.Counters, finalB.Counters)
+					}
+					if simA.Stats() != simB.Stats() {
+						t.Fatalf("%s: stats differ: %+v vs %+v", tag, simA.Stats(), simB.Stats())
+					}
+					if d := simA.Result().Diff(simB.Result()); d != "" {
+						t.Fatalf("%s: detections differ:\n%s", tag, d)
+					}
+					if err := simB.CheckInvariants(); err != nil {
+						t.Fatalf("%s: invariants after resume: %v", tag, err)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCheckpointRoundTripWithTrace repeats the round trip in trace-replay
+// mode (the configuration csim-P and csim-V2 run in): the trace must be
+// attached before Restore, and the resumed run must stay bit-identical.
+func TestCheckpointRoundTripWithTrace(t *testing.T) {
+	_, trans, vs := checkpointCircuit(t, 6200)
+	trace := goodsim.Record(trans.Circuit, vs.Vecs)
+	split := vs.Len() / 2
+
+	simA, err := New(trans, MV())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := simA.SetGoodTrace(trace); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < split; i++ {
+		simA.Cycle(vs.Vecs[i])
+	}
+	cp := simA.Checkpoint()
+	for i := split; i < vs.Len(); i++ {
+		simA.Cycle(vs.Vecs[i])
+	}
+	finalA := simA.Checkpoint()
+
+	simB, err := New(trans, MV())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := simB.SetGoodTrace(trace); err != nil {
+		t.Fatal(err)
+	}
+	if err := simB.Restore(cp); err != nil {
+		t.Fatal(err)
+	}
+	for i := split; i < vs.Len(); i++ {
+		simB.Cycle(vs.Vecs[i])
+	}
+	if !reflect.DeepEqual(finalA, simB.Checkpoint()) {
+		t.Fatal("trace-replay resumed run diverged from uninterrupted run")
+	}
+}
+
+// TestCheckpointCanonical: two equivalent simulators with different
+// allocation histories must produce equal Checkpoints — arena layout must
+// not leak into the snapshot. A restored simulator's arena is rebuilt in
+// list order, so checkpointing it again right away is the sharpest test.
+func TestCheckpointCanonical(t *testing.T) {
+	stuck, _, vs := checkpointCircuit(t, 6300)
+	sim, err := New(stuck, MV())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		sim.Cycle(vs.Vecs[i])
+	}
+	cp := sim.Checkpoint()
+	re, err := New(stuck, MV())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Restore(cp); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cp, re.Checkpoint()) {
+		t.Fatal("checkpoint of a restored simulator differs from the checkpoint it was restored from")
+	}
+}
+
+// TestRestoreValidation: restoring into the wrong simulator must fail
+// loudly, not corrupt state.
+func TestRestoreValidation(t *testing.T) {
+	stuck, trans, vs := checkpointCircuit(t, 6400)
+	sim, err := New(stuck, MV())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Cycle(vs.Vecs[0])
+	cp := sim.Checkpoint()
+
+	if err := sim.Restore(cp); err == nil {
+		t.Error("Restore into a used simulator must fail")
+	}
+	other, err := New(trans, MV())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.Restore(cp); err == nil {
+		t.Error("Restore across fault universes must fail")
+	}
+}

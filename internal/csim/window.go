@@ -1,0 +1,402 @@
+package csim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/faults"
+	"repro/internal/goodsim"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// This file is the vector-sharding state API behind csim-V2 (see
+// internal/parallel and DESIGN.md §11). The only per-fault state that
+// crosses a clock boundary in the concurrent method is (a) the fault's
+// divergent flip-flop elements after the clock edge, (b) a transition
+// fault's previous-cycle driver value, and (c) the dropped flag (owned by
+// the window merge, which freezes detected faults). Everything
+// combinational is a derived cache that a warm-started simulator
+// re-establishes by evaluating every macro once on its first cycle — the
+// same full sweep a fresh simulator performs anyway. A SeqState captures
+// exactly (a) and (b) in a canonical, arena-independent form, so window
+// runs can be warm-started, compared, and spliced.
+
+// FFElem is one divergent flip-flop element of a SeqState: fault Fault's
+// machine holds Val at flip-flop DFF while the good machine holds the
+// traced value. SeqState keeps FFElems sorted by (Fault, DFF).
+type FFElem struct {
+	Fault int32
+	DFF   netlist.GateID
+	Val   logic.V
+}
+
+// DriverVal is one transition fault's previous-cycle driver value.
+// SeqState keeps DriverVals sorted by Fault, one entry per live
+// transition fault of the covered subset.
+type DriverVal struct {
+	Fault int32
+	Val   logic.V
+}
+
+// SeqState is the cross-cycle faulty-machine state of a fault subset at a
+// clock boundary: which machines hold divergent flip-flop values, and the
+// per-transition-fault driver history. Boundary b is the state entering
+// cycle b (after cycle b-1's clock edge); b = 0 is the initial all-X
+// state, which has no elements and all-X drivers.
+type SeqState struct {
+	Boundary int
+	FF       []FFElem
+	Drivers  []DriverVal
+}
+
+// CaptureSeqState snapshots the simulator's sequential state at the
+// current clock boundary (call between Cycles). Dropped faults are
+// omitted: the window merge freezes them, so their state is never used
+// again.
+func (s *Simulator) CaptureSeqState() *SeqState {
+	st := &SeqState{Boundary: s.vecIndex}
+	for _, ff := range s.c.DFFs {
+		for idx := s.vis[ff]; s.arena[idx].fault < s.sentinel; idx = s.arena[idx].next {
+			f := s.arena[idx].fault
+			if s.dropped[f] {
+				continue
+			}
+			st.FF = append(st.FF, FFElem{Fault: f, DFF: ff, Val: s.arena[idx].word.Out()})
+		}
+	}
+	sort.Slice(st.FF, func(i, j int) bool {
+		if st.FF[i].Fault != st.FF[j].Fault {
+			return st.FF[i].Fault < st.FF[j].Fault
+		}
+		return st.FF[i].DFF < st.FF[j].DFF
+	})
+	if s.prevDriver != nil {
+		s.forEachSimFault(func(id int32) {
+			if s.dropped[id] || s.u.Faults[id].Kind.Stuck() {
+				return
+			}
+			st.Drivers = append(st.Drivers, DriverVal{Fault: id, Val: s.prevDriver[id]})
+		})
+	}
+	return st
+}
+
+// forEachSimFault visits the simulated fault IDs in increasing order.
+func (s *Simulator) forEachSimFault(fn func(id int32)) {
+	if s.ids == nil {
+		for i := range s.u.Faults {
+			fn(int32(i))
+		}
+		return
+	}
+	for _, id := range s.ids {
+		fn(id)
+	}
+}
+
+// ExpectedSeqState derives, from the recorded good trace alone, the
+// sequential state every fault in ids would hold at boundary b if its
+// machine is clean there — no divergent flip-flops latched from earlier
+// cycles. Faults sited on a flip-flop re-diverge locally at every clock
+// edge, so their boundary elements and driver history follow directly
+// from the traced D values; all other faults are state-free when clean.
+// ids nil means the whole universe. The window engine warm-starts its
+// speculative runs from this state and repairs the faults for which the
+// exact state (CaptureSeqState of the previous window) disagrees.
+func ExpectedSeqState(u *faults.Universe, tr *goodsim.Trace, b int, ids []int32) *SeqState {
+	if b < 0 || b > tr.Cycles() {
+		panic(fmt.Sprintf("csim: expected state at boundary %d outside trace of %d cycles", b, tr.Cycles()))
+	}
+	c := u.Circuit
+	st := &SeqState{Boundary: b}
+	add := func(id int32) {
+		f := &u.Faults[id]
+		g := c.Gate(f.Gate)
+		isDFF := g.Op == logic.OpDFF
+		if !f.Kind.Stuck() {
+			// Transition fault: driver = the faulted pin's pre-injection
+			// value at the machine's last evaluation, which for a clean
+			// machine is the good value of the driving gate at cycle b-1.
+			// The trace records every gate (macro interiors included), so
+			// this holds for macro-internal sites too.
+			dv := logic.X
+			if b > 0 {
+				dv = tr.At(b-1, c.Gate(f.Gate).Fanin[f.Pin])
+			}
+			st.Drivers = append(st.Drivers, DriverVal{Fault: id, Val: dv})
+		}
+		if !isDFF || b == 0 {
+			return
+		}
+		// Flip-flop-sited faults re-assert at every clock edge
+		// (cycle.go clock(), the isLocal cases), so their boundary
+		// element is a pure function of the traced D values.
+		d := g.Fanin[0]
+		goodQ := tr.At(b-1, d)
+		var q logic.V
+		switch {
+		case f.Kind.Stuck():
+			q = f.Kind.StuckValue()
+		default: // transition fault on the D pin
+			pv := logic.X
+			if b >= 2 {
+				pv = tr.At(b-2, d)
+			}
+			q = faults.TransitionFV(f.Kind, pv, goodQ)
+		}
+		if q != goodQ {
+			st.FF = append(st.FF, FFElem{Fault: id, DFF: f.Gate, Val: q})
+		}
+	}
+	if ids == nil {
+		for i := range u.Faults {
+			add(int32(i))
+		}
+	} else {
+		for _, id := range ids {
+			add(id)
+		}
+	}
+	// add emits in increasing fault order with one DFF per fault, so both
+	// slices are already canonically sorted.
+	return st
+}
+
+// StartWindow positions a freshly constructed simulator at clock boundary
+// b with the given sequential state: good flip-flop values come from the
+// attached good trace, the state's elements are installed on their
+// flip-flops, and driver histories are restored. The simulator must have
+// a good trace attached (SetGoodTrace) and must not have simulated yet;
+// subsequent Cycle calls consume vectors b, b+1, ... and report
+// detections at absolute vector indices. The first cycle after a warm
+// start evaluates every macro once (exactly like a cold start), which
+// re-derives all combinational fault elements from the installed
+// sequential state.
+func (s *Simulator) StartWindow(b int, st *SeqState) error {
+	if !s.firstCycle || s.vecIndex != 0 || s.stats.CurElems != 0 {
+		return fmt.Errorf("csim: StartWindow requires a fresh simulator")
+	}
+	if s.goodTrace == nil {
+		return fmt.Errorf("csim: StartWindow requires a good trace (SetGoodTrace)")
+	}
+	if b < 0 || b > s.goodTrace.Cycles() {
+		return fmt.Errorf("csim: window boundary %d outside the recorded trace (%d cycles)", b, s.goodTrace.Cycles())
+	}
+	if st.Boundary != b {
+		return fmt.Errorf("csim: state is for boundary %d, window starts at %d", st.Boundary, b)
+	}
+	s.vecIndex = b
+	if b > 0 {
+		for _, ff := range s.c.DFFs {
+			s.goodVal[ff] = s.goodTrace.At(b-1, s.c.Gate(ff).Fanin[0])
+		}
+	}
+	// Install the divergent flip-flop elements. st.FF is sorted by
+	// (Fault, DFF), so the per-DFF sublists arrive in increasing fault
+	// order — the invariant every arena list keeps.
+	builders := make(map[netlist.GateID]*listBuilder)
+	for i, e := range st.FF {
+		if i > 0 {
+			p := st.FF[i-1]
+			if e.Fault < p.Fault || (e.Fault == p.Fault && e.DFF <= p.DFF) {
+				return fmt.Errorf("csim: StartWindow state not sorted by (fault, dff)")
+			}
+		}
+		if e.Fault < 0 || e.Fault >= s.sentinel {
+			return fmt.Errorf("csim: StartWindow fault %d outside universe", e.Fault)
+		}
+		if !s.simulatesFault(e.Fault) {
+			return fmt.Errorf("csim: StartWindow fault %d not in this partition", e.Fault)
+		}
+		if s.c.Gate(e.DFF).Op != logic.OpDFF {
+			return fmt.Errorf("csim: StartWindow gate %d is not a flip-flop", e.DFF)
+		}
+		nb, ok := builders[e.DFF]
+		if !ok {
+			b := newListBuilder()
+			nb = &b
+			builders[e.DFF] = nb
+		}
+		nb.append(s, s.alloc(e.Fault, logic.PackWord(nil, e.Val), 0))
+	}
+	for _, ff := range s.c.DFFs {
+		if nb, ok := builders[ff]; ok {
+			s.vis[ff] = nb.finish(s)
+			// Mark the divergence as an event so the first settle pulls
+			// the installed elements into the fanout.
+			s.notify(ff)
+		}
+	}
+	for _, dv := range st.Drivers {
+		if dv.Fault < 0 || dv.Fault >= s.sentinel {
+			return fmt.Errorf("csim: StartWindow driver fault %d outside universe", dv.Fault)
+		}
+		if s.prevDriver == nil {
+			return fmt.Errorf("csim: StartWindow driver state for a partition without transition faults")
+		}
+		s.prevDriver[dv.Fault] = dv.Val
+	}
+	return nil
+}
+
+// simulatesFault reports whether id is in this simulator's fault subset.
+func (s *Simulator) simulatesFault(id int32) bool {
+	if s.ids == nil {
+		return true
+	}
+	i := sort.Search(len(s.ids), func(i int) bool { return s.ids[i] >= id })
+	return i < len(s.ids) && s.ids[i] == id
+}
+
+// DiffSeqStates returns, sorted, the faults whose sequential state
+// differs between the two states at the same boundary — the faults whose
+// speculative window run started from the wrong state and must be
+// repaired. skip, when non-nil, excludes faults (the frozen, already
+// detected ones) from the comparison.
+func DiffSeqStates(exact, expected *SeqState, skip func(int32) bool) []int32 {
+	if exact.Boundary != expected.Boundary {
+		panic(fmt.Sprintf("csim: diffing states at boundaries %d and %d", exact.Boundary, expected.Boundary))
+	}
+	dirty := make(map[int32]bool)
+	mark := func(f int32) {
+		if skip == nil || !skip(f) {
+			dirty[f] = true
+		}
+	}
+	a, b := exact.FF, expected.FF
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case j >= len(b) || (i < len(a) && (a[i].Fault < b[j].Fault ||
+			(a[i].Fault == b[j].Fault && a[i].DFF < b[j].DFF))):
+			mark(a[i].Fault)
+			i++
+		case i >= len(a) || b[j].Fault < a[i].Fault ||
+			(b[j].Fault == a[i].Fault && b[j].DFF < a[i].DFF):
+			mark(b[j].Fault)
+			j++
+		default: // same (fault, dff)
+			if a[i].Val != b[j].Val {
+				mark(a[i].Fault)
+			}
+			i++
+			j++
+		}
+	}
+	da, db := exact.Drivers, expected.Drivers
+	i, j = 0, 0
+	for i < len(da) || j < len(db) {
+		switch {
+		case j >= len(db) || (i < len(da) && da[i].Fault < db[j].Fault):
+			mark(da[i].Fault)
+			i++
+		case i >= len(da) || db[j].Fault < da[i].Fault:
+			mark(db[j].Fault)
+			j++
+		default:
+			if da[i].Val != db[j].Val {
+				mark(da[i].Fault)
+			}
+			i++
+			j++
+		}
+	}
+	out := make([]int32, 0, len(dirty))
+	for f := range dirty {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Restrict returns the sub-state covering only the given sorted fault
+// IDs.
+func (st *SeqState) Restrict(ids []int32) *SeqState {
+	in := make(map[int32]bool, len(ids))
+	for _, id := range ids {
+		in[id] = true
+	}
+	out := &SeqState{Boundary: st.Boundary}
+	for _, e := range st.FF {
+		if in[e.Fault] {
+			out.FF = append(out.FF, e)
+		}
+	}
+	for _, d := range st.Drivers {
+		if in[d.Fault] {
+			out.Drivers = append(out.Drivers, d)
+		}
+	}
+	return out
+}
+
+// SpliceSeqState builds the exact state at a boundary from a speculative
+// run's capture and a repair run's capture: faults in dirty (sorted) take
+// their state from repair, everything else from spec. omit, when non-nil,
+// drops faults (the frozen ones) from the result entirely.
+func SpliceSeqState(spec, repair *SeqState, dirty []int32, omit func(int32) bool) *SeqState {
+	if repair != nil && repair.Boundary != spec.Boundary {
+		panic(fmt.Sprintf("csim: splicing states at boundaries %d and %d", spec.Boundary, repair.Boundary))
+	}
+	in := make(map[int32]bool, len(dirty))
+	for _, id := range dirty {
+		in[id] = true
+	}
+	keepSpec := func(f int32) bool { return !in[f] && (omit == nil || !omit(f)) }
+	keepRep := func(f int32) bool { return in[f] && (omit == nil || !omit(f)) }
+	out := &SeqState{Boundary: spec.Boundary}
+	var rff []FFElem
+	var rdv []DriverVal
+	if repair != nil {
+		rff, rdv = repair.FF, repair.Drivers
+	}
+	i, j := 0, 0
+	for i < len(spec.FF) || j < len(rff) {
+		var takeSpec bool
+		switch {
+		case i >= len(spec.FF):
+			takeSpec = false
+		case j >= len(rff):
+			takeSpec = true
+		default:
+			a, b := spec.FF[i], rff[j]
+			takeSpec = a.Fault < b.Fault || (a.Fault == b.Fault && a.DFF < b.DFF)
+		}
+		if takeSpec {
+			if keepSpec(spec.FF[i].Fault) {
+				out.FF = append(out.FF, spec.FF[i])
+			}
+			i++
+		} else {
+			if keepRep(rff[j].Fault) {
+				out.FF = append(out.FF, rff[j])
+			}
+			j++
+		}
+	}
+	i, j = 0, 0
+	for i < len(spec.Drivers) || j < len(rdv) {
+		var takeSpec bool
+		switch {
+		case i >= len(spec.Drivers):
+			takeSpec = false
+		case j >= len(rdv):
+			takeSpec = true
+		default:
+			takeSpec = spec.Drivers[i].Fault < rdv[j].Fault
+		}
+		if takeSpec {
+			if keepSpec(spec.Drivers[i].Fault) {
+				out.Drivers = append(out.Drivers, spec.Drivers[i])
+			}
+			i++
+		} else {
+			if keepRep(rdv[j].Fault) {
+				out.Drivers = append(out.Drivers, rdv[j])
+			}
+			j++
+		}
+	}
+	return out
+}

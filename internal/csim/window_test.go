@@ -1,0 +1,263 @@
+package csim
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/gen"
+	"repro/internal/goodsim"
+	"repro/internal/logic"
+	"repro/internal/vectors"
+)
+
+func windowCircuit(t *testing.T, seed int64) (*faults.Universe, *faults.Universe, *vectors.Set) {
+	t.Helper()
+	c, err := gen.Generate(gen.Spec{
+		Name: fmt.Sprintf("win%d", seed),
+		PIs:  5, POs: 4, DFFs: 8, Gates: 90, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return faults.StuckCollapsed(c), faults.Transition(c), vectors.Random(c, 50, seed)
+}
+
+// TestExpectedSeqStateBoundaryZero: boundary 0 is the initial all-X
+// state — no divergent flip-flops, all-X driver history.
+func TestExpectedSeqStateBoundaryZero(t *testing.T) {
+	stuck, trans, vs := windowCircuit(t, 7100)
+	trace := goodsim.Record(stuck.Circuit, vs.Vecs)
+	st := ExpectedSeqState(stuck, trace, 0, nil)
+	if len(st.FF) != 0 || len(st.Drivers) != 0 {
+		t.Errorf("stuck boundary-0 state not empty: %d elems, %d drivers", len(st.FF), len(st.Drivers))
+	}
+	tt := ExpectedSeqState(trans, trace, 0, nil)
+	if len(tt.FF) != 0 {
+		t.Errorf("transition boundary-0 state has %d elems", len(tt.FF))
+	}
+	nt := 0
+	for i := range trans.Faults {
+		if !trans.Faults[i].Kind.Stuck() {
+			nt++
+		}
+	}
+	if len(tt.Drivers) != nt {
+		t.Errorf("boundary-0 drivers cover %d faults, universe has %d transition faults", len(tt.Drivers), nt)
+	}
+	for _, d := range tt.Drivers {
+		if d.Val != logic.X {
+			t.Errorf("boundary-0 driver for fault %d is %v, want X", d.Fault, d.Val)
+		}
+	}
+}
+
+// TestStartWindowZeroEqualsColdStart: warm-starting at boundary 0 from
+// the expected (empty) state is exactly a cold trace-replay start.
+func TestStartWindowZeroEqualsColdStart(t *testing.T) {
+	for _, model := range []string{"stuck", "transition"} {
+		stuck, trans, vs := windowCircuit(t, 7200)
+		u := stuck
+		if model == "transition" {
+			u = trans
+		}
+		trace := goodsim.Record(u.Circuit, vs.Vecs)
+
+		cold, err := New(u, MV())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cold.SetGoodTrace(trace); err != nil {
+			t.Fatal(err)
+		}
+		cold.Run(vs)
+
+		warm, err := New(u, MV())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := warm.SetGoodTrace(trace); err != nil {
+			t.Fatal(err)
+		}
+		if err := warm.StartWindow(0, ExpectedSeqState(u, trace, 0, nil)); err != nil {
+			t.Fatal(err)
+		}
+		warm.Run(vs)
+
+		if !reflect.DeepEqual(cold.Checkpoint(), warm.Checkpoint()) {
+			t.Errorf("%s: boundary-0 warm start differs from cold start", model)
+		}
+	}
+}
+
+// TestCaptureSeqStateCanonical: captures are sorted by (fault, dff) /
+// fault, contain no dropped faults, and agree with the simulator's
+// flip-flop lists.
+func TestCaptureSeqStateCanonical(t *testing.T) {
+	_, trans, vs := windowCircuit(t, 7300)
+	sim, err := New(trans, MV())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		sim.Cycle(vs.Vecs[i])
+	}
+	st := sim.CaptureSeqState()
+	if st.Boundary != 30 {
+		t.Fatalf("boundary %d, want 30", st.Boundary)
+	}
+	if !sort.SliceIsSorted(st.FF, func(i, j int) bool {
+		if st.FF[i].Fault != st.FF[j].Fault {
+			return st.FF[i].Fault < st.FF[j].Fault
+		}
+		return st.FF[i].DFF < st.FF[j].DFF
+	}) {
+		t.Error("FF elements not sorted by (fault, dff)")
+	}
+	if !sort.SliceIsSorted(st.Drivers, func(i, j int) bool {
+		return st.Drivers[i].Fault < st.Drivers[j].Fault
+	}) {
+		t.Error("drivers not sorted by fault")
+	}
+	res := sim.Result()
+	for _, e := range st.FF {
+		if res.Detected[e.Fault] {
+			t.Errorf("captured element for dropped fault %d", e.Fault)
+		}
+	}
+	for _, d := range st.Drivers {
+		if res.Detected[d.Fault] {
+			t.Errorf("captured driver for dropped fault %d", d.Fault)
+		}
+		if trans.Faults[d.Fault].Kind.Stuck() {
+			t.Errorf("driver entry for stuck fault %d", d.Fault)
+		}
+	}
+}
+
+// TestStartWindowValidation: the warm-start API must reject misuse.
+func TestStartWindowValidation(t *testing.T) {
+	stuck, _, vs := windowCircuit(t, 7400)
+	trace := goodsim.Record(stuck.Circuit, vs.Vecs)
+	empty := &SeqState{Boundary: 10}
+
+	sim, err := New(stuck, MV())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.StartWindow(10, empty); err == nil {
+		t.Error("StartWindow without a good trace must fail")
+	}
+	if err := sim.SetGoodTrace(trace); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.StartWindow(3, empty); err == nil {
+		t.Error("StartWindow at a mismatched boundary must fail")
+	}
+	if err := sim.StartWindow(vs.Len()+1, &SeqState{Boundary: vs.Len() + 1}); err == nil {
+		t.Error("StartWindow beyond the trace must fail")
+	}
+	if err := sim.StartWindow(10, empty); err != nil {
+		t.Fatalf("valid StartWindow failed: %v", err)
+	}
+	sim.Cycle(vs.Vecs[10])
+	if err := sim.StartWindow(10, empty); err == nil {
+		t.Error("StartWindow on a used simulator must fail")
+	}
+}
+
+// TestDiffSeqStates: the dirty set is exactly the faults whose element
+// multisets or driver values differ, with frozen faults excluded.
+func TestDiffSeqStates(t *testing.T) {
+	a := &SeqState{
+		Boundary: 5,
+		FF: []FFElem{
+			{Fault: 1, DFF: 10, Val: logic.One},
+			{Fault: 2, DFF: 11, Val: logic.Zero},
+			{Fault: 4, DFF: 10, Val: logic.X},
+		},
+		Drivers: []DriverVal{{Fault: 7, Val: logic.One}, {Fault: 9, Val: logic.X}},
+	}
+	b := &SeqState{
+		Boundary: 5,
+		FF: []FFElem{
+			{Fault: 1, DFF: 10, Val: logic.One},  // identical → clean
+			{Fault: 2, DFF: 11, Val: logic.One},  // value differs → dirty
+			{Fault: 3, DFF: 12, Val: logic.Zero}, // only in b → dirty
+			// fault 4 only in a → dirty
+		},
+		Drivers: []DriverVal{{Fault: 7, Val: logic.Zero}, {Fault: 9, Val: logic.X}},
+	}
+	got := DiffSeqStates(a, b, nil)
+	want := []int32{2, 3, 4, 7}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("dirty = %v, want %v", got, want)
+	}
+	got = DiffSeqStates(a, b, func(f int32) bool { return f == 3 || f == 7 })
+	want = []int32{2, 4}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("dirty with skip = %v, want %v", got, want)
+	}
+	if d := DiffSeqStates(a, a, nil); len(d) != 0 {
+		t.Errorf("self-diff = %v, want empty", d)
+	}
+}
+
+// TestSpliceSeqState: dirty faults come from the repair state, the rest
+// from the speculative state, omitted faults from neither — and the
+// result stays sorted.
+func TestSpliceSeqState(t *testing.T) {
+	spec := &SeqState{
+		Boundary: 8,
+		FF: []FFElem{
+			{Fault: 1, DFF: 10, Val: logic.One},
+			{Fault: 2, DFF: 11, Val: logic.Zero}, // dirty: replaced by repair
+			{Fault: 5, DFF: 12, Val: logic.X},    // frozen: omitted
+		},
+		Drivers: []DriverVal{{Fault: 2, Val: logic.Zero}, {Fault: 6, Val: logic.One}},
+	}
+	repair := &SeqState{
+		Boundary: 8,
+		FF: []FFElem{
+			{Fault: 2, DFF: 10, Val: logic.One},
+			{Fault: 2, DFF: 11, Val: logic.One},
+		},
+		Drivers: []DriverVal{{Fault: 2, Val: logic.One}},
+	}
+	got := SpliceSeqState(spec, repair, []int32{2}, func(f int32) bool { return f == 5 })
+	want := &SeqState{
+		Boundary: 8,
+		FF: []FFElem{
+			{Fault: 1, DFF: 10, Val: logic.One},
+			{Fault: 2, DFF: 10, Val: logic.One},
+			{Fault: 2, DFF: 11, Val: logic.One},
+		},
+		Drivers: []DriverVal{{Fault: 2, Val: logic.One}, {Fault: 6, Val: logic.One}},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("splice = %+v, want %+v", got, want)
+	}
+	// No repair: spec minus omitted.
+	got = SpliceSeqState(spec, nil, nil, func(f int32) bool { return f == 5 })
+	if len(got.FF) != 2 || got.FF[0].Fault != 1 || got.FF[1].Fault != 2 {
+		t.Errorf("repair-free splice = %+v", got)
+	}
+}
+
+// TestRestrict keeps only the listed faults.
+func TestRestrict(t *testing.T) {
+	st := &SeqState{
+		Boundary: 3,
+		FF:       []FFElem{{Fault: 1, DFF: 4, Val: logic.One}, {Fault: 2, DFF: 4, Val: logic.Zero}},
+		Drivers:  []DriverVal{{Fault: 1, Val: logic.X}, {Fault: 3, Val: logic.One}},
+	}
+	r := st.Restrict([]int32{1})
+	if len(r.FF) != 1 || r.FF[0].Fault != 1 || len(r.Drivers) != 1 || r.Drivers[0].Fault != 1 {
+		t.Errorf("restrict = %+v", r)
+	}
+	if r.Boundary != 3 {
+		t.Errorf("restrict lost the boundary: %d", r.Boundary)
+	}
+}

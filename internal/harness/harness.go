@@ -37,6 +37,12 @@ const (
 	// CsimP is the fault-partition parallel engine: csim-MV sharded over
 	// worker goroutines replaying a shared good-machine trace.
 	CsimP Engine = "csim-P"
+	// CsimV2 is the vector-partition parallel engine: the vector sequence
+	// split into windows simulated concurrently by speculation and repair.
+	CsimV2 Engine = "csim-V2"
+	// CsimGrid is the 2-D engine: fault shards crossed with vector
+	// windows. With both axes unset the unified scheduler picks the shape.
+	CsimGrid Engine = "csim-grid"
 	// PROOFS is the bit-parallel single-fault-propagation baseline.
 	PROOFS Engine = "PROOFS"
 	// Serial is the brute-force oracle: one full resimulation per fault.
@@ -87,8 +93,12 @@ type Measurement struct {
 	CPU time.Duration
 	// MemBytes is the accounted fault-structure memory at peak.
 	MemBytes int64
-	// Workers is the goroutine count (csim-P only; 0 otherwise).
+	// Workers is the fault-shard goroutine count (csim-P and csim-grid
+	// only; 0 otherwise).
 	Workers int
+	// Windows is the vector-window count (csim-V2 and csim-grid only;
+	// 0 otherwise).
+	Windows int
 }
 
 // FltCvg returns hard coverage in percent.
@@ -122,6 +132,10 @@ func RunObserved(engine Engine, u *faults.Universe, vs *vectors.Set, ob *obs.Obs
 	switch engine {
 	case CsimP:
 		return RunParallelObserved(u, vs, 0, ob)
+	case CsimV2:
+		return RunVectorShardedObserved(u, vs, 0, ob)
+	case CsimGrid:
+		return RunGridObserved(u, vs, 0, 0, ob)
 	case Serial:
 		sp := ob.Span("fault-sim")
 		res = serial.Simulate(u, vs)
@@ -188,6 +202,99 @@ func RunParallelObserved(u *faults.Universe, vs *vectors.Set, workers int, ob *o
 	}
 	m.CPU = time.Since(start)
 	if rst, ok := csim.StatsFromRegistry(ob.Registry(), parallel.MergedPrefix); ok {
+		m.MemBytes = rst.MemBytes
+	} else {
+		m.MemBytes = st.MemBytes
+	}
+	m.Detected = res.NumDet
+	m.PotOnly = res.NumPotOnly()
+	m.Coverage = res.Coverage()
+	return m, nil
+}
+
+// RunVectorSharded measures the vector-partition parallel engine: the
+// csim-MV variant over the vector sequence split into the given number
+// of windows (<= 0 means runtime.NumCPU(), always clamped to the vector
+// count), simulated concurrently by speculation and repair.
+// Measurement.Windows records the effective window count.
+func RunVectorSharded(u *faults.Universe, vs *vectors.Set, windows int) (Measurement, error) {
+	return RunVectorShardedObserved(u, vs, windows, nil)
+}
+
+// RunVectorShardedObserved is RunVectorSharded under the observability
+// layer: phase spans, per-window gauges under "csim-V2.window<i>.",
+// merged run totals under "csim-V2.", and a registry-sourced memory
+// column. ob may be nil.
+func RunVectorShardedObserved(u *faults.Universe, vs *vectors.Set, windows int, ob *obs.Observer) (Measurement, error) {
+	opt := parallel.VOptions{Windows: windows, Config: csim.MV(), Obs: ob}
+	m := Measurement{
+		Engine:   CsimV2,
+		Circuit:  u.Circuit.Name,
+		Patterns: vs.Len(),
+		Faults:   u.NumFaults(),
+		Windows:  opt.EffectiveWindows(vs.Len()),
+	}
+	start := time.Now()
+	res, st, err := parallel.SimulateVectorSharded(u, vs, opt)
+	if err != nil {
+		return m, err
+	}
+	m.CPU = time.Since(start)
+	if rst, ok := csim.StatsFromRegistry(ob.Registry(), parallel.V2Prefix); ok {
+		m.MemBytes = rst.MemBytes
+	} else {
+		m.MemBytes = st.MemBytes
+	}
+	m.Detected = res.NumDet
+	m.PotOnly = res.NumPotOnly()
+	m.Coverage = res.Coverage()
+	return m, nil
+}
+
+// RunGrid measures the 2-D engine: faultShards fault partitions crossed
+// with windows vector windows. When both axes are <= 0 the unified
+// scheduler picks the shape from the job's dimensions; otherwise a
+// non-positive axis defaults to 1. Measurement.Workers and
+// Measurement.Windows record the effective grid shape.
+func RunGrid(u *faults.Universe, vs *vectors.Set, faultShards, windows int) (Measurement, error) {
+	return RunGridObserved(u, vs, faultShards, windows, nil)
+}
+
+// RunGridObserved is RunGrid under the observability layer: per-shard
+// namespaces under "csim-grid.shard<k>.", merged totals under
+// "csim-grid.", and — when the scheduler plans the shape — the
+// "sched.*" decision gauges. ob may be nil.
+func RunGridObserved(u *faults.Universe, vs *vectors.Set, faultShards, windows int, ob *obs.Observer) (Measurement, error) {
+	m := Measurement{
+		Engine:   CsimGrid,
+		Circuit:  u.Circuit.Name,
+		Patterns: vs.Len(),
+		Faults:   u.NumFaults(),
+	}
+	start := time.Now()
+	var (
+		res *faults.Result
+		st  csim.Stats
+		err error
+	)
+	if faultShards <= 0 && windows <= 0 {
+		var plan parallel.Plan
+		res, st, plan, err = parallel.SimulateAuto(u, vs, parallel.AutoOptions{
+			Config: csim.MV(), Obs: ob})
+		m.Workers, m.Windows = plan.FaultShards, plan.Windows
+	} else {
+		opt := parallel.GridOptions{
+			FaultShards: faultShards, Windows: windows,
+			Config: csim.MV(), Obs: ob,
+		}
+		m.Workers, m.Windows = opt.EffectiveShape(u.NumFaults(), vs.Len())
+		res, st, err = parallel.SimulateGrid(u, vs, opt)
+	}
+	if err != nil {
+		return m, err
+	}
+	m.CPU = time.Since(start)
+	if rst, ok := csim.StatsFromRegistry(ob.Registry(), parallel.GridPrefix); ok {
 		m.MemBytes = rst.MemBytes
 	} else {
 		m.MemBytes = st.MemBytes

@@ -1,0 +1,141 @@
+// Differential fuzzing: one seed derives an entire scenario — circuit
+// shape, fault model, fault sample, vector count, and the parallel shard
+// shapes — and every engine must agree with the serial oracle on it.
+// TestFuzzDifferentialCorpus replays a fixed corpus in normal test runs
+// (CI runs it with -run Fuzz -short); FuzzDifferential hands the same
+// case runner to the native fuzzer so `go test -fuzz=FuzzDifferential`
+// can search for disagreeing seeds.
+package integration
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/csim"
+	"repro/internal/faults"
+	"repro/internal/parallel"
+	"repro/internal/serial"
+	"repro/internal/vectors"
+)
+
+// sampleUniverse draws a random fault subset with re-indexed IDs, as a
+// service user simulating a fault sample would. Rep is dropped: collapse
+// bookkeeping is meaningless for a subset.
+func sampleUniverse(u *faults.Universe, rng *rand.Rand) *faults.Universe {
+	keep := 5 + rng.Intn(u.NumFaults())
+	if keep >= u.NumFaults() {
+		return u
+	}
+	perm := rng.Perm(u.NumFaults())[:keep]
+	// Sorted selection keeps fault order (and thus detection events)
+	// aligned with the parent universe's site order.
+	sel := make([]bool, u.NumFaults())
+	for _, i := range perm {
+		sel[i] = true
+	}
+	s := &faults.Universe{Circuit: u.Circuit}
+	for i, f := range u.Faults {
+		if !sel[i] {
+			continue
+		}
+		f.ID = int32(len(s.Faults))
+		s.Faults = append(s.Faults, f)
+	}
+	return s
+}
+
+// fuzzCase is the shared case runner: seed → scenario → all engines must
+// match the serial oracle bit for bit.
+func fuzzCase(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	pis := 2 + rng.Intn(6)
+	pos := 2 + rng.Intn(5)
+	ffs := rng.Intn(12)
+	gates := 20 + rng.Intn(120)
+	nvec := 40 + rng.Intn(100)
+	model := "stuck"
+	if rng.Intn(2) == 1 {
+		model = "transition"
+	}
+
+	c := genCircuit(t, seed, pis, pos, ffs, gates)
+	var u *faults.Universe
+	if model == "stuck" {
+		u = faults.StuckCollapsed(c)
+	} else {
+		u = faults.Transition(c)
+	}
+	checkModel(t, c, u)
+	if rng.Intn(2) == 1 {
+		u = sampleUniverse(u, rng)
+	}
+	vs := vectors.Random(c, nvec, seed)
+
+	workers := 1 + rng.Intn(5)
+	windows := 1 + rng.Intn(5)
+	gk, gw := 2+rng.Intn(2), 2+rng.Intn(2)
+	tag := fmt.Sprintf("seed=%d %s/%s flts=%d vecs=%d w%d v%d %dx%d",
+		seed, c.Name, model, u.NumFaults(), nvec, workers, windows, gk, gw)
+
+	oracle := serial.Simulate(u, vs)
+
+	single, err := csim.New(u, csim.MV())
+	if err != nil {
+		t.Fatalf("%s: %v", tag, err)
+	}
+	compare(t, tag+"/csim-MV", oracle, single.Run(vs))
+
+	res, _, err := parallel.Simulate(u, vs, parallel.Options{Workers: workers, Config: csim.MV()})
+	if err != nil {
+		t.Fatalf("%s: %v", tag, err)
+	}
+	compare(t, tag+"/csim-P", oracle, res)
+
+	res, _, err = parallel.SimulateVectorSharded(u, vs, parallel.VOptions{Windows: windows, Config: csim.MV()})
+	if err != nil {
+		t.Fatalf("%s: %v", tag, err)
+	}
+	compare(t, tag+"/csim-V2", oracle, res)
+
+	res, _, err = parallel.SimulateGrid(u, vs, parallel.GridOptions{
+		FaultShards: gk, Windows: gw, Config: csim.MV()})
+	if err != nil {
+		t.Fatalf("%s: %v", tag, err)
+	}
+	compare(t, tag+"/csim-grid", oracle, res)
+}
+
+// fuzzCorpus is the fixed replayed corpus; FuzzDifferential seeds its
+// search from the same values.
+var fuzzCorpus = []int64{
+	1, 2, 3, 17, 42, 99, 1234, 5678, 90210, 424242,
+	7_000_003, 123_456_789,
+}
+
+// TestFuzzDifferentialCorpus replays the fixed corpus (a prefix of it in
+// -short mode, keeping the CI lint/test job fast).
+func TestFuzzDifferentialCorpus(t *testing.T) {
+	corpus := fuzzCorpus
+	if testing.Short() {
+		corpus = corpus[:4]
+	}
+	for _, seed := range corpus {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			fuzzCase(t, seed)
+		})
+	}
+}
+
+// FuzzDifferential is the native fuzz target: any seed the fuzzer
+// invents becomes a full differential scenario. Case sizes are bounded
+// by construction in fuzzCase, so every execution stays sub-second.
+func FuzzDifferential(f *testing.F) {
+	for _, seed := range fuzzCorpus {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		fuzzCase(t, seed)
+	})
+}

@@ -3,6 +3,7 @@ package lint
 import (
 	"go/ast"
 	"go/token"
+	"strings"
 )
 
 // exportDocPackages is the documented-surface scope: the packages whose
@@ -39,6 +40,13 @@ func runExportDoc(pass *Pass) error {
 		return nil
 	}
 	for _, file := range pass.Files {
+		// Test files share the surface packages' import paths (internal
+		// test variants) but Test*/Benchmark* functions are not API.
+		// The repo loader never feeds them in; this guard keeps vet
+		// -vettool mode, which does, in agreement.
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
 		for _, decl := range file.Decls {
 			switch d := decl.(type) {
 			case *ast.FuncDecl:

@@ -1,0 +1,112 @@
+package parallel
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/csim"
+	"repro/internal/faults"
+	"repro/internal/goodsim"
+	"repro/internal/obs"
+	"repro/internal/vectors"
+)
+
+// GridOptions configures a csim-grid run: fault-axis sharding (csim-P's
+// partitioner) crossed with vector-axis sharding (csim-V2's windowed
+// engine). Each of the K fault shards runs the W-window speculation +
+// repair pipeline against the one shared good trace, and the per-shard
+// results merge with faults.MergeResults exactly as csim-P's do.
+type GridOptions struct {
+	// FaultShards is the fault-partition count K; <= 0 means 1. Clamped
+	// to the universe size.
+	FaultShards int
+	// Windows is the vector-window count W per shard; <= 0 means 1.
+	// Clamped to the vector count.
+	Windows int
+	// Config is the per-simulator variant (typically csim.MV()).
+	Config csim.Config
+	// Obs attaches the observability layer: per-shard-window metrics
+	// under "csim-grid.shard<k>.window<i>." and merged totals under
+	// "csim-grid.". Nil disables observability.
+	Obs *obs.Observer
+}
+
+// GridPrefix namespaces the merged csim-grid run totals in the registry.
+const GridPrefix = "csim-grid."
+
+// GridShardPrefix namespaces one fault shard's windowed metrics.
+func GridShardPrefix(k int) string { return fmt.Sprintf("csim-grid.shard%d.", k) }
+
+// EffectiveShape reports the (K, W) shape SimulateGrid will actually use
+// for nf faults over nv vectors, after defaulting and clamping.
+func (o GridOptions) EffectiveShape(nf, nv int) (k, w int) {
+	k = o.FaultShards
+	if k <= 0 {
+		k = 1
+	}
+	if k > nf {
+		k = nf
+	}
+	if k < 1 {
+		k = 1
+	}
+	w = o.Windows
+	if w <= 0 {
+		w = 1
+	}
+	if w > nv {
+		w = nv
+	}
+	if w < 1 {
+		w = 1
+	}
+	return k, w
+}
+
+// SimulateGrid runs the 2-D fault×vector grid over the whole vector set
+// and returns the merged detections and summed stats. K=1 degenerates to
+// csim-V2 over the full universe; W=1 degenerates to csim-P (every
+// window run is then exact and no repairs happen).
+func SimulateGrid(u *faults.Universe, vs *vectors.Set, opt GridOptions) (*faults.Result, csim.Stats, error) {
+	ob := opt.Obs
+	k, w := opt.EffectiveShape(u.NumFaults(), vs.Len())
+	trace := goodsim.RecordObserved(u.Circuit, vs.Vecs, ob)
+	psp := ob.Span("partition")
+	parts := Partition(u, k)
+	psp.End()
+
+	results := make([]*faults.Result, k)
+	stats := make([]csim.Stats, k)
+	repairs := make([]int, k)
+	errs := make([]error, k)
+	var wg sync.WaitGroup
+	for i := range parts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], stats[i], repairs[i], errs[i] = simulateWindows(
+				u, vs, trace, parts[i], w, opt.Config, ob, GridShardPrefix(i), i*w)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, csim.Stats{}, err
+		}
+	}
+	msp := ob.Span("merge")
+	res := faults.MergeResults(results...)
+	merged := csim.MergeStats(stats...)
+	msp.End()
+	if reg := ob.Registry(); reg != nil {
+		repaired := 0
+		for _, r := range repairs {
+			repaired += r
+		}
+		csim.PublishStats(reg, GridPrefix, merged)
+		reg.Gauge(GridPrefix + "fault_shards").Set(int64(k))
+		reg.Gauge(GridPrefix + "windows").Set(int64(w))
+		reg.Gauge(GridPrefix + "repaired_faults").Set(int64(repaired))
+	}
+	return res, merged, nil
+}

@@ -1,0 +1,162 @@
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/csim"
+	"repro/internal/faults"
+	"repro/internal/obs"
+	"repro/internal/vectors"
+)
+
+// The unified fault×vector scheduler: given a job's shape, pick a grid
+// plan — fault-split (csim-P-like), vector-split (csim-V2-like), or a
+// genuine 2-D grid. The heuristics:
+//
+//   - a fault shard below MinFaultsPerShard faults drowns in per-shard
+//     fixed cost (trace replay, full first-cycle sweep), so the fault
+//     axis offers at most Faults/MinFaultsPerShard useful shards;
+//   - a vector window below MinVectorsPerWindow cycles likewise, and a
+//     high observed drop rate shrinks the useful window count further:
+//     late windows then speculate mostly about already-dropped faults;
+//   - when both axes have capacity, the fault axis is preferred (its
+//     shards never need repair runs) and the vector axis takes the rest
+//     of the processor budget.
+//
+// The decision is a pure function of the JobShape, so the same job
+// always gets the same plan.
+
+// Shard-granularity floors: below these per-shard sizes another shard
+// costs more in fixed overhead than it saves.
+const (
+	MinFaultsPerShard   = 64
+	MinVectorsPerWindow = 32
+)
+
+// JobShape describes one simulation job for the scheduler.
+type JobShape struct {
+	// Gates is the circuit size (informational; granularity floors are
+	// expressed in faults and vectors, which already scale with it).
+	Gates int
+	// Faults is the fault-universe size.
+	Faults int
+	// Vectors is the vector-sequence length.
+	Vectors int
+	// MaxProcs bounds the total shard count K*W; <= 0 means
+	// runtime.NumCPU(). Pin it for deterministic planning across hosts.
+	MaxProcs int
+	// DropRate is the expected fraction of faults detected (and thus
+	// dropped) over the run, in [0,1]; 0 when unknown. High drop rates
+	// devalue late vector windows.
+	DropRate float64
+}
+
+// Plan is the scheduler's decision: a K×W fault×vector grid. K=1 is a
+// pure vector split, W=1 a pure fault split, K=W=1 a single simulator.
+type Plan struct {
+	FaultShards int
+	Windows     int
+}
+
+// Grid reports whether the plan splits along both axes.
+func (p Plan) Grid() bool { return p.FaultShards > 1 && p.Windows > 1 }
+
+// String renders the plan as "KxW".
+func (p Plan) String() string { return fmt.Sprintf("%dx%d", p.FaultShards, p.Windows) }
+
+// Decide picks the grid shape for a job. It is deterministic: equal
+// shapes yield equal plans (with MaxProcs <= 0 the processor count of
+// the deciding host is part of the shape).
+func Decide(sh JobShape) Plan {
+	p := sh.MaxProcs
+	if p <= 0 {
+		p = runtime.NumCPU()
+	}
+	if p < 1 {
+		p = 1
+	}
+	clamp := func(v int) int {
+		if v < 1 {
+			return 1
+		}
+		if v > p {
+			return p
+		}
+		return v
+	}
+	maxF := clamp(sh.Faults / MinFaultsPerShard)
+	dr := sh.DropRate
+	if dr < 0 {
+		dr = 0
+	}
+	if dr > 1 {
+		dr = 1
+	}
+	maxW := clamp(int(float64(sh.Vectors/MinVectorsPerWindow) * (1 - dr)))
+	if maxF == 1 || maxW == 1 {
+		// At most one axis has capacity: single-axis split (or 1×1).
+		return Plan{FaultShards: maxF, Windows: maxW}
+	}
+	f := maxF
+	if f > p {
+		f = p
+	}
+	if f == p && p >= 4 {
+		// Both axes have capacity and faults alone would eat the whole
+		// budget: cede half to the vector axis for a 2-D grid.
+		f = p / 2
+	}
+	w := p / f
+	if w > maxW {
+		w = maxW
+	}
+	if w < 1 {
+		w = 1
+	}
+	return Plan{FaultShards: f, Windows: w}
+}
+
+// AutoOptions configures a scheduler-planned run.
+type AutoOptions struct {
+	// MaxProcs bounds the total shard count; <= 0 means
+	// runtime.NumCPU().
+	MaxProcs int
+	// DropRate is the expected detected fraction in [0,1] (0: unknown).
+	DropRate float64
+	// Config is the per-simulator variant (typically csim.MV()).
+	Config csim.Config
+	// Obs attaches the observability layer; the chosen plan is published
+	// as "sched.fault_shards" / "sched.windows" / "sched.max_procs"
+	// gauges next to the csim-grid metrics.
+	Obs *obs.Observer
+}
+
+// SimulateAuto lets the scheduler pick the grid shape for the job and
+// runs it, returning the merged result, summed stats and the plan used.
+func SimulateAuto(u *faults.Universe, vs *vectors.Set, opt AutoOptions) (*faults.Result, csim.Stats, Plan, error) {
+	sh := JobShape{
+		Gates:    len(u.Circuit.Gates),
+		Faults:   u.NumFaults(),
+		Vectors:  vs.Len(),
+		MaxProcs: opt.MaxProcs,
+		DropRate: opt.DropRate,
+	}
+	plan := Decide(sh)
+	if reg := opt.Obs.Registry(); reg != nil {
+		reg.Gauge("sched.fault_shards").Set(int64(plan.FaultShards))
+		reg.Gauge("sched.windows").Set(int64(plan.Windows))
+		mp := sh.MaxProcs
+		if mp <= 0 {
+			mp = runtime.NumCPU()
+		}
+		reg.Gauge("sched.max_procs").Set(int64(mp))
+	}
+	res, st, err := SimulateGrid(u, vs, GridOptions{
+		FaultShards: plan.FaultShards,
+		Windows:     plan.Windows,
+		Config:      opt.Config,
+		Obs:         opt.Obs,
+	})
+	return res, st, plan, err
+}

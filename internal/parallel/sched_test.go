@@ -1,0 +1,118 @@
+package parallel
+
+import (
+	"testing"
+
+	"repro/internal/csim"
+	"repro/internal/faults"
+	"repro/internal/obs"
+	"repro/internal/vectors"
+)
+
+// TestDecideSplitAxis is the table-driven scheduler test: tiny fault
+// populations with long vector sequences go vector-split, huge fault
+// lists over short sequences go fault-split, and jobs large along both
+// axes get a 2-D grid within the processor budget.
+func TestDecideSplitAxis(t *testing.T) {
+	cases := []struct {
+		name string
+		sh   JobShape
+		want Plan
+	}{
+		{"tiny circuit, huge vectors",
+			JobShape{Gates: 100, Faults: 50, Vectors: 10000, MaxProcs: 8},
+			Plan{FaultShards: 1, Windows: 8}},
+		{"huge fault list, short vectors",
+			JobShape{Gates: 50000, Faults: 100000, Vectors: 40, MaxProcs: 8},
+			Plan{FaultShards: 8, Windows: 1}},
+		{"both large",
+			JobShape{Gates: 50000, Faults: 100000, Vectors: 10000, MaxProcs: 8},
+			Plan{FaultShards: 4, Windows: 2}},
+		{"both large, four procs",
+			JobShape{Gates: 50000, Faults: 100000, Vectors: 10000, MaxProcs: 4},
+			Plan{FaultShards: 2, Windows: 2}},
+		{"both large, two procs prefer faults",
+			JobShape{Gates: 50000, Faults: 100000, Vectors: 10000, MaxProcs: 2},
+			Plan{FaultShards: 2, Windows: 1}},
+		{"fault axis capped, windows take the rest",
+			JobShape{Gates: 1000, Faults: 150, Vectors: 10000, MaxProcs: 8},
+			Plan{FaultShards: 2, Windows: 4}},
+		{"high drop rate kills late windows",
+			JobShape{Gates: 50000, Faults: 100000, Vectors: 320, DropRate: 0.95, MaxProcs: 8},
+			Plan{FaultShards: 8, Windows: 1}},
+		{"full drop rate",
+			JobShape{Gates: 50000, Faults: 100000, Vectors: 10000, DropRate: 1.0, MaxProcs: 8},
+			Plan{FaultShards: 8, Windows: 1}},
+		{"tiny everything",
+			JobShape{Gates: 20, Faults: 30, Vectors: 20, MaxProcs: 8},
+			Plan{FaultShards: 1, Windows: 1}},
+		{"single proc",
+			JobShape{Gates: 50000, Faults: 100000, Vectors: 10000, MaxProcs: 1},
+			Plan{FaultShards: 1, Windows: 1}},
+	}
+	for _, tc := range cases {
+		if got := Decide(tc.sh); got != tc.want {
+			t.Errorf("%s: Decide(%+v) = %v, want %v", tc.name, tc.sh, got, tc.want)
+		}
+		if got := Decide(tc.sh); got.FaultShards*got.Windows > maxProcsOf(tc.sh) {
+			t.Errorf("%s: plan %v exceeds the processor budget %d", tc.name, got, maxProcsOf(tc.sh))
+		}
+	}
+}
+
+func maxProcsOf(sh JobShape) int {
+	if sh.MaxProcs > 0 {
+		return sh.MaxProcs
+	}
+	return 1 << 30 // NumCPU default; only budget-capped cases pin MaxProcs
+}
+
+// TestDecideDeterministic: the same shape must always get the same plan.
+func TestDecideDeterministic(t *testing.T) {
+	shapes := []JobShape{
+		{Gates: 100, Faults: 50, Vectors: 10000, MaxProcs: 8},
+		{Gates: 50000, Faults: 100000, Vectors: 10000, MaxProcs: 8},
+		{Gates: 5000, Faults: 9000, Vectors: 496, DropRate: 0.7, MaxProcs: 16},
+		{Gates: 5000, Faults: 9000, Vectors: 496}, // MaxProcs from NumCPU, still stable in-process
+	}
+	for _, sh := range shapes {
+		first := Decide(sh)
+		for i := 0; i < 50; i++ {
+			if got := Decide(sh); got != first {
+				t.Fatalf("Decide(%+v) flapped: %v then %v", sh, first, got)
+			}
+		}
+	}
+}
+
+// TestSimulateAuto runs the scheduler end to end: the planned grid must
+// match the single-threaded detections and publish its decision gauges.
+func TestSimulateAuto(t *testing.T) {
+	c := testCircuit(t, 8600, 5, 4, 8, 90)
+	u := faults.StuckCollapsed(c)
+	vs := vectors.Random(c, 120, 3)
+	single, err := csim.New(u, csim.MV())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := single.Run(vs)
+	reg := obs.NewRegistry()
+	ob := &obs.Observer{Metrics: reg}
+	res, _, plan, err := SimulateAuto(u, vs, AutoOptions{MaxProcs: 4, Config: csim.MV(), Obs: ob})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResult(t, "auto "+plan.String(), want, res)
+	if plan.FaultShards < 1 || plan.Windows < 1 || plan.FaultShards*plan.Windows > 4 {
+		t.Errorf("plan %v outside the MaxProcs=4 budget", plan)
+	}
+	if p, ok := reg.Get("sched.fault_shards"); !ok || p.Value != int64(plan.FaultShards) {
+		t.Errorf("sched.fault_shards gauge = %+v, want %d", p, plan.FaultShards)
+	}
+	if p, ok := reg.Get("sched.windows"); !ok || p.Value != int64(plan.Windows) {
+		t.Errorf("sched.windows gauge = %+v, want %d", p, plan.Windows)
+	}
+	if p, ok := reg.Get("sched.max_procs"); !ok || p.Value != 4 {
+		t.Errorf("sched.max_procs gauge = %+v, want 4", p)
+	}
+}

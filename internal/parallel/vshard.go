@@ -1,0 +1,247 @@
+// Vector-axis parallelism, csim-V2: the vector sequence is split into W
+// contiguous windows simulated concurrently. Sequential circuits carry
+// fault state across clock edges, so naive splitting is wrong; csim-V2
+// runs speculation + repair instead. The good machine is simulated once
+// and recorded (the same trace csim-P replays); from the trace alone,
+// ExpectedSeqState derives the flip-flop/driver state every *clean*
+// faulty machine holds at each window boundary. Every window then runs
+// speculatively from its expected boundary state, all in parallel. A
+// sequential stitch pass walks the windows in order, compares each
+// window's exact incoming state (captured from the previous window) with
+// the expected state it speculated from, and re-simulates just the
+// disagreeing ("dirty") faults — typically the few machines that kept
+// divergent flip-flops alive across the boundary. Detections merge in
+// window order, first detection freezing the fault, so the result is
+// bit-identical to the single-threaded run at every window count.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/csim"
+	"repro/internal/faults"
+	"repro/internal/goodsim"
+	"repro/internal/obs"
+	"repro/internal/vectors"
+)
+
+// VOptions configures a csim-V2 run.
+type VOptions struct {
+	// Windows is the vector-window count; <= 0 means runtime.NumCPU().
+	// It is clamped to the vector count.
+	Windows int
+	// Config is the per-window simulator variant (typically csim.MV()).
+	// Its Obs/ObsPrefix fields are overridden per window; attach
+	// observability through Options.Obs instead.
+	Config csim.Config
+	// Obs attaches the observability layer: phase spans (good-sim,
+	// window-plan, fault-sim with one lane per window, stitch, merge),
+	// per-window metrics under "csim-V2.window<i>." (repair runs under
+	// "csim-V2.window<i>.repair."), and merged run totals under
+	// "csim-V2.". Nil disables observability.
+	Obs *obs.Observer
+}
+
+// EffectiveWindows reports the window count SimulateVectorSharded will
+// actually use for a run of n vectors, after defaulting and clamping.
+func (o VOptions) EffectiveWindows(n int) int {
+	w := o.Windows
+	if w <= 0 {
+		w = runtime.NumCPU()
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// V2Prefix namespaces the merged csim-V2 run totals in the registry.
+const V2Prefix = "csim-V2."
+
+// WindowPrefix namespaces one speculative window run's metrics.
+func WindowPrefix(i int) string { return fmt.Sprintf("csim-V2.window%d.", i) }
+
+// windowBounds splits n vectors into w contiguous windows: boundaries
+// b[0]=0 < b[1] < ... < b[w]=n, sizes differing by at most one.
+func windowBounds(n, w int) []int {
+	b := make([]int, w+1)
+	base, rem := n/w, n%w
+	for i := 1; i <= w; i++ {
+		b[i] = b[i-1] + base
+		if i <= rem {
+			b[i]++
+		}
+	}
+	return b
+}
+
+// SimulateVectorSharded runs csim-V2 over the whole vector set and
+// returns the merged detections along with the summed per-window stats
+// (total work across speculative and repair runs).
+func SimulateVectorSharded(u *faults.Universe, vs *vectors.Set, opt VOptions) (*faults.Result, csim.Stats, error) {
+	ob := opt.Obs
+	w := opt.EffectiveWindows(vs.Len())
+	trace := goodsim.RecordObserved(u.Circuit, vs.Vecs, ob)
+	res, merged, repaired, err := simulateWindows(u, vs, trace, nil, w, opt.Config, ob, V2Prefix, 0)
+	if err != nil {
+		return nil, csim.Stats{}, err
+	}
+	if reg := ob.Registry(); reg != nil {
+		csim.PublishStats(reg, V2Prefix, merged)
+		reg.Gauge(V2Prefix + "windows").Set(int64(w))
+		reg.Gauge(V2Prefix + "repaired_faults").Set(int64(repaired))
+	}
+	return res, merged, nil
+}
+
+// windowRun is one finished (speculative or repair) window simulation.
+type windowRun struct {
+	res   *faults.Result
+	stats csim.Stats
+	end   *csim.SeqState
+	err   error
+}
+
+// simulateWindows is the shared windowed engine: it simulates the fault
+// subset ids (nil = whole universe) over vs in w windows against the
+// prerecorded trace, and returns the merged result, summed stats and the
+// total repaired-fault count. prefix namespaces per-window metrics;
+// laneBase offsets the trace lanes (so grid shards get disjoint lanes).
+func simulateWindows(u *faults.Universe, vs *vectors.Set, trace *goodsim.Trace,
+	ids []int32, w int, cfg csim.Config, ob *obs.Observer, prefix string,
+	laneBase int) (*faults.Result, csim.Stats, int, error) {
+
+	bounds := windowBounds(vs.Len(), w)
+
+	// runWindow simulates vectors [bounds[wi], bounds[wi+1]) for the
+	// fault subset runIDs, warm-started from the boundary state start.
+	runWindow := func(wi int, runIDs []int32, start *csim.SeqState, pfx string) windowRun {
+		wcfg := cfg
+		wcfg.Obs = ob
+		wcfg.ObsPrefix = pfx
+		var sim *csim.Simulator
+		var err error
+		if runIDs == nil {
+			sim, err = csim.New(u, wcfg)
+		} else {
+			sim, err = csim.NewPartition(u, wcfg, runIDs)
+		}
+		if err != nil {
+			return windowRun{err: err}
+		}
+		if err := sim.SetGoodTrace(trace); err != nil {
+			return windowRun{err: err}
+		}
+		if err := sim.StartWindow(bounds[wi], start); err != nil {
+			return windowRun{err: err}
+		}
+		for t := bounds[wi]; t < bounds[wi+1]; t++ {
+			sim.Cycle(vs.Vecs[t])
+		}
+		return windowRun{res: sim.Result(), stats: sim.Stats(), end: sim.CaptureSeqState()}
+	}
+
+	// Phase 1: all windows speculate in parallel from their expected
+	// (clean-machine) boundary states.
+	psp := ob.Span("window-plan")
+	expected := make([]*csim.SeqState, w)
+	psp.End()
+	spec := make([]windowRun, w)
+	fsp := ob.Span("fault-sim")
+	var wg sync.WaitGroup
+	for wi := 0; wi < w; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			wsp := ob.SpanTID(fmt.Sprintf("window%d", wi), laneBase+wi+1)
+			defer wsp.End()
+			expected[wi] = csim.ExpectedSeqState(u, trace, bounds[wi], ids)
+			spec[wi] = runWindow(wi, ids, expected[wi], prefix+fmt.Sprintf("window%d.", wi))
+		}(wi)
+	}
+	wg.Wait()
+	fsp.End()
+	for wi := range spec {
+		if spec[wi].err != nil {
+			return nil, csim.Stats{}, 0, spec[wi].err
+		}
+	}
+
+	// Phase 2: stitch the windows in order. exact is the true boundary
+	// state entering window wi; window 0's expected state (derived from
+	// the all-X initial state) is exact by construction.
+	ssp := ob.Span("stitch")
+	res := faults.NewResult(u)
+	frozen := make([]bool, len(u.Faults))
+	isFrozen := func(f int32) bool { return frozen[f] }
+	allStats := make([]csim.Stats, 0, w)
+	repaired := 0
+	exact := expected[0]
+	for wi := 0; wi < w; wi++ {
+		dirty := csim.DiffSeqStates(exact, expected[wi], isFrozen)
+		allStats = append(allStats, spec[wi].stats)
+		var rep *windowRun
+		if len(dirty) > 0 {
+			r := runWindow(wi, dirty, exact.Restrict(dirty),
+				prefix+fmt.Sprintf("window%d.repair.", wi))
+			if r.err != nil {
+				ssp.End()
+				return nil, csim.Stats{}, 0, r.err
+			}
+			rep = &r
+			allStats = append(allStats, r.stats)
+			repaired += len(dirty)
+		}
+		inDirty := make(map[int32]bool, len(dirty))
+		for _, f := range dirty {
+			inDirty[f] = true
+		}
+		// Merge this window's detections: the repair run is authoritative
+		// for dirty faults, the speculative run for everything else. A
+		// detection freezes the fault — later windows' events for it are
+		// speculative garbage, exactly like post-drop events in a
+		// single-threaded run.
+		mergeFault := func(f int32) {
+			if frozen[f] {
+				return
+			}
+			src := spec[wi].res
+			if inDirty[f] {
+				src = rep.res
+			}
+			if src.PotDetected[f] {
+				res.PotDetect(f)
+			}
+			if src.Detected[f] {
+				res.Detect(f, int(src.DetectedAt[f]))
+				frozen[f] = true
+			}
+		}
+		if ids == nil {
+			for f := 0; f < len(u.Faults); f++ {
+				mergeFault(int32(f))
+			}
+		} else {
+			for _, f := range ids {
+				mergeFault(f)
+			}
+		}
+		if wi+1 < w {
+			var repEnd *csim.SeqState
+			if rep != nil {
+				repEnd = rep.end
+			}
+			exact = csim.SpliceSeqState(spec[wi].end, repEnd, dirty, isFrozen)
+		}
+	}
+	ssp.End()
+	msp := ob.Span("merge")
+	merged := csim.MergeStats(allStats...)
+	msp.End()
+	return res, merged, repaired, nil
+}

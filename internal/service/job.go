@@ -25,7 +25,8 @@ var (
 	Models = []string{"stuck", "stuck-all", "transition"}
 	// Engines lists the accepted engine names.
 	Engines = []string{"csim", "csim-V", "csim-M", "csim-MV",
-		"csim-MV-eagerdrop", "csim-MV-reconvergent", "csim-P", "PROOFS", "serial"}
+		"csim-MV-eagerdrop", "csim-MV-reconvergent", "csim-P", "csim-V2",
+		"csim-grid", "PROOFS", "serial"}
 )
 
 // JobSpec is the submit-request body: what to simulate and how.
@@ -42,11 +43,17 @@ type JobSpec struct {
 	// Model is the fault model: stuck (default), stuck-all, transition.
 	Model string `json:"model,omitempty"`
 	// Engine selects the simulator: csim, csim-V, csim-M, csim-MV
-	// (default), csim-MV-eagerdrop, csim-MV-reconvergent, csim-P, PROOFS,
-	// serial.
+	// (default), csim-MV-eagerdrop, csim-MV-reconvergent, csim-P, csim-V2,
+	// csim-grid, PROOFS, serial.
 	Engine string `json:"engine,omitempty"`
-	// Workers is the csim-P partition worker count (<=0: server default).
+	// Workers is the csim-P partition worker count, or the csim-grid
+	// fault-shard count (<=0: server default; for csim-grid, <=0 with
+	// Windows <=0 lets the scheduler plan the whole shape).
 	Workers int `json:"workers,omitempty"`
+	// Windows is the csim-V2 / csim-grid vector-window count (<=0: server
+	// default for csim-V2; scheduler-planned for csim-grid when Workers is
+	// also <=0).
+	Windows int `json:"windows,omitempty"`
 	// Random asks for this many seeded random vectors. Exactly one of
 	// Random and Vectors must be set.
 	Random int `json:"random,omitempty"`
@@ -163,8 +170,12 @@ type ResultView struct {
 	PotOnly int `json:"pot_only"`
 	// Coverage is hard coverage in [0,1].
 	Coverage float64 `json:"coverage"`
-	// Workers is the csim-P partition count (0 otherwise).
+	// Workers is the csim-P partition / csim-grid fault-shard count
+	// (0 otherwise).
 	Workers int `json:"workers,omitempty"`
+	// Windows is the csim-V2 / csim-grid vector-window count (0
+	// otherwise).
+	Windows int `json:"windows,omitempty"`
 	// RunNS is the measured engine wall time in nanoseconds.
 	RunNS int64 `json:"run_ns"`
 	// CacheHit reports whether the compiled-circuit cache served the

@@ -34,9 +34,9 @@ func buildVectors(spec *JobSpec, cc *Compiled) (*vectors.Set, error) {
 
 // execute runs one admitted job's engine under ctx and returns the
 // result view. Cancellation granularity: the csim variants check the
-// context between clock cycles; csim-P, PROOFS and serial check it only
-// before starting (a cancelled running job of those engines finishes its
-// simulation, then reports cancelled).
+// context between clock cycles; csim-P, csim-V2, csim-grid, PROOFS and
+// serial check it only before starting (a cancelled running job of those
+// engines finishes its simulation, then reports cancelled).
 func execute(ctx context.Context, spec *JobSpec, cc *Compiled, ob *obs.Observer, prefix string, workersDefault int) (*ResultView, error) {
 	u, err := cc.Universe(spec.Model)
 	if err != nil {
@@ -85,6 +85,53 @@ func execute(ctx context.Context, spec *JobSpec, cc *Compiled, ob *obs.Observer,
 		res, st, err = parallel.Simulate(u, vs, opt)
 		if err != nil {
 			return nil, err
+		}
+		fillStats(rv, st)
+	case "csim-V2":
+		windows := spec.Windows
+		if windows <= 0 {
+			windows = workersDefault
+		}
+		cfg := csim.MV()
+		cfg.Plan, err = cc.Plan(cfg)
+		if err != nil {
+			return nil, err
+		}
+		opt := parallel.VOptions{Windows: windows, Config: cfg, Obs: ob}
+		rv.Windows = opt.EffectiveWindows(vs.Len())
+		var st csim.Stats
+		res, st, err = parallel.SimulateVectorSharded(u, vs, opt)
+		if err != nil {
+			return nil, err
+		}
+		fillStats(rv, st)
+	case "csim-grid":
+		cfg := csim.MV()
+		cfg.Plan, err = cc.Plan(cfg)
+		if err != nil {
+			return nil, err
+		}
+		var st csim.Stats
+		if spec.Workers <= 0 && spec.Windows <= 0 {
+			// Neither axis pinned: the unified scheduler plans the shape
+			// within the server's worker budget.
+			var plan parallel.Plan
+			res, st, plan, err = parallel.SimulateAuto(u, vs, parallel.AutoOptions{
+				MaxProcs: workersDefault, Config: cfg, Obs: ob})
+			if err != nil {
+				return nil, err
+			}
+			rv.Workers, rv.Windows = plan.FaultShards, plan.Windows
+		} else {
+			opt := parallel.GridOptions{
+				FaultShards: spec.Workers, Windows: spec.Windows,
+				Config: cfg, Obs: ob,
+			}
+			rv.Workers, rv.Windows = opt.EffectiveShape(u.NumFaults(), vs.Len())
+			res, st, err = parallel.SimulateGrid(u, vs, opt)
+			if err != nil {
+				return nil, err
+			}
 		}
 		fillStats(rv, st)
 	default:

@@ -61,7 +61,7 @@ func TestJobMatchesSerialOracle(t *testing.T) {
 	_, cl := startServer(t, Config{Workers: 2})
 	ctx := ctxT(t)
 	want := oracle(t, "s298", "stuck", 40, 7)
-	for _, engine := range []string{"csim", "csim-V", "csim-M", "csim-MV", "csim-P", "PROOFS", "serial"} {
+	for _, engine := range []string{"csim", "csim-V", "csim-M", "csim-MV", "csim-P", "csim-V2", "csim-grid", "PROOFS", "serial"} {
 		v, err := cl.Run(ctx, JobSpec{Circuit: "s298", Engine: engine, Random: 40, Seed: 7}, time.Millisecond)
 		if err != nil {
 			t.Fatalf("%s: %v", engine, err)
@@ -80,6 +80,46 @@ func TestJobMatchesSerialOracle(t *testing.T) {
 		if r.Faults != len(want.Detected) {
 			t.Errorf("%s: faults = %d, oracle universe %d", engine, r.Faults, len(want.Detected))
 		}
+	}
+}
+
+func TestVectorShardedAndGridJobShapes(t *testing.T) {
+	_, cl := startServer(t, Config{Workers: 2})
+	ctx := ctxT(t)
+	want := oracle(t, "s298", "stuck", 40, 7)
+
+	v, err := cl.Run(ctx, JobSpec{Circuit: "s298", Engine: "csim-V2", Windows: 3, Random: 40, Seed: 7}, time.Millisecond)
+	if err != nil {
+		t.Fatalf("csim-V2: %v", err)
+	}
+	if v.Result == nil || v.Result.Detected != want.NumDet {
+		t.Fatalf("csim-V2 result %+v, oracle det %d", v.Result, want.NumDet)
+	}
+	if v.Result.Windows != 3 {
+		t.Errorf("csim-V2 windows = %d, want 3", v.Result.Windows)
+	}
+
+	v, err = cl.Run(ctx, JobSpec{Circuit: "s298", Engine: "csim-grid", Workers: 2, Windows: 2, Random: 40, Seed: 7}, time.Millisecond)
+	if err != nil {
+		t.Fatalf("csim-grid: %v", err)
+	}
+	if v.Result == nil || v.Result.Detected != want.NumDet {
+		t.Fatalf("csim-grid result %+v, oracle det %d", v.Result, want.NumDet)
+	}
+	if v.Result.Workers != 2 || v.Result.Windows != 2 {
+		t.Errorf("csim-grid shape = %dx%d, want 2x2", v.Result.Workers, v.Result.Windows)
+	}
+
+	// Neither axis pinned: the scheduler plans and the result records it.
+	v, err = cl.Run(ctx, JobSpec{Circuit: "s298", Engine: "csim-grid", Random: 40, Seed: 7}, time.Millisecond)
+	if err != nil {
+		t.Fatalf("auto csim-grid: %v", err)
+	}
+	if v.Result == nil || v.Result.Detected != want.NumDet {
+		t.Fatalf("auto csim-grid result %+v, oracle det %d", v.Result, want.NumDet)
+	}
+	if v.Result.Workers < 1 || v.Result.Windows < 1 {
+		t.Errorf("auto csim-grid did not record a shape: %+v", v.Result)
 	}
 }
 
