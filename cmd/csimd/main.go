@@ -8,13 +8,19 @@
 //
 // Endpoints:
 //
-//	POST   /api/v1/jobs      submit a job (JSON JobSpec); 429 + Retry-After when full
-//	GET    /api/v1/jobs      list jobs
-//	GET    /api/v1/jobs/{id} job status + result
-//	DELETE /api/v1/jobs/{id} cancel (frees a queued job's slot immediately)
-//	GET    /healthz          liveness
-//	GET    /readyz           readiness (503 while draining)
-//	GET    /metricsz         metric registry snapshot (also /debug/vars, /debug/pprof)
+//	POST   /api/v1/jobs            submit a job (JSON JobSpec); 429 + Retry-After when full
+//	GET    /api/v1/jobs            list jobs
+//	GET    /api/v1/jobs/{id}       job status + result
+//	GET    /api/v1/jobs/{id}/debug flight-recorder postmortem
+//	DELETE /api/v1/jobs/{id}       cancel (frees a queued job's slot immediately)
+//	GET    /healthz                liveness
+//	GET    /readyz                 readiness (503 while draining)
+//	GET    /metricsz               metric registry snapshot (also /debug/vars, /debug/pprof);
+//	                               ?format=prometheus for text exposition
+//
+// Submissions may carry an X-Csim-Job-Id header; the server adopts it as
+// the job ID and every structured log record and flight event for that
+// job carries it. Structured logs go to stderr (-log-format, -log-level).
 //
 // SIGINT/SIGTERM starts a graceful drain: admissions stop, queued and
 // running jobs finish (bounded by -drain-timeout), then the process
@@ -26,6 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"os/signal"
 	"runtime"
@@ -48,6 +55,9 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "bound on the graceful drain after SIGTERM")
 		retained     = flag.Int("retained", 8192, "finished jobs kept for polling before eviction")
 		traceOut     = flag.String("trace-out", "", "write a chrome://tracing phase trace (JSON) on exit")
+		logFormat    = flag.String("log-format", "json", "structured log format on stderr: json or text")
+		logLevel     = flag.String("log-level", "info", "log threshold: debug, info, warn or error")
+		flightBuf    = flag.Int("flight-buffer", obs.DefaultFlightEvents, "per-job flight-recorder capacity (events)")
 	)
 	flag.Parse()
 
@@ -62,6 +72,13 @@ func main() {
 		ob.Tracer = tr
 	}
 	obs.PublishExpvar("csimd", reg)
+	stopSampler := obs.StartRuntimeSampler(reg, 5*time.Second)
+	defer stopSampler()
+
+	lg, err := buildLogger(*logFormat, *logLevel)
+	if err != nil {
+		fatal(err)
+	}
 
 	srv := service.New(service.Config{
 		Addr:           *addr,
@@ -73,6 +90,8 @@ func main() {
 		MaxTimeout:     *maxTimeout,
 		Retained:       *retained,
 		Obs:            ob,
+		Log:            lg,
+		FlightEvents:   *flightBuf,
 	})
 	if err := srv.Start(); err != nil {
 		fatal(err)
@@ -94,6 +113,34 @@ func main() {
 	}
 	fmt.Println("csimd:     drained cleanly")
 	writeTrace(*traceOut, tr)
+}
+
+// buildLogger assembles the stderr slog handler from the -log-format and
+// -log-level flags. Logs go to stderr so the startup/drain lines on
+// stdout stay machine-greppable.
+func buildLogger(format, level string) (*obs.Logger, error) {
+	var lv slog.Level
+	switch level {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("-log-level %q: want debug, info, warn or error", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "json":
+		return obs.NewLogger(slog.NewJSONHandler(os.Stderr, opts)), nil
+	case "text":
+		return obs.NewLogger(slog.NewTextHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("-log-format %q: want json or text", format)
+	}
 }
 
 // writeTrace dumps the phase trace if one was recorded.

@@ -14,7 +14,10 @@
 // -min-inflight, or when -expect-reject is set and the run never drew a
 // 429. Queue rejections are retried honouring the server's Retry-After
 // hint (capped by -max-retry-wait), so overload slows the run down but
-// never fails it.
+// never fails it. With -check-prom the tool also scrapes
+// /metricsz?format=prometheus after the run and fails unless the
+// exposition parses cleanly (with -clients 0 this is a standalone
+// scrape check against an already-running server).
 package main
 
 import (
@@ -23,11 +26,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
@@ -49,6 +54,7 @@ func main() {
 		minCacheHit = flag.Float64("min-cache-hit", 0, "assert the final server cache hit rate is at least this fraction (0 disables)")
 		minInflight = flag.Int("min-inflight", 0, "assert the peak concurrently in-flight job count reaches this (0 disables)")
 		expectRej   = flag.Bool("expect-reject", false, "assert the run drew at least one 429 queue rejection")
+		checkProm   = flag.Bool("check-prom", false, "fetch /metricsz?format=prometheus after the run and assert it parses")
 	)
 	flag.Parse()
 
@@ -160,6 +166,16 @@ func main() {
 	}
 	if *expectRej && rejections.Load() == 0 {
 		fail("expected at least one 429 queue rejection; saw none")
+	}
+	if *checkProm {
+		body, err := cl.MetricszProm(ctx)
+		if err != nil {
+			fail("prometheus scrape: %v", err)
+		} else if n, err := obs.CheckExposition(strings.NewReader(body)); err != nil {
+			fail("prometheus exposition invalid: %v", err)
+		} else {
+			fmt.Printf("prom:      %d samples, exposition valid\n", n)
+		}
 	}
 	if !ok {
 		os.Exit(1)

@@ -24,7 +24,9 @@
 package faultsim
 
 import (
+	"context"
 	"io"
+	"log/slog"
 
 	"repro/internal/atpg"
 	"repro/internal/csim"
@@ -117,6 +119,15 @@ type (
 	FaultEventLog = obs.FaultLog
 	// FaultEvent is one fault-lifecycle event.
 	FaultEvent = obs.FaultEvent
+	// Logger is the structured logger handed to a run through
+	// Observer.Log: a nil-safe slog wrapper. A nil *Logger disables
+	// logging at zero per-record cost.
+	Logger = obs.Logger
+	// FlightRecorder is the bounded per-job ring buffer of lifecycle
+	// events that backs a postmortem dump; nil disables recording.
+	FlightRecorder = obs.FlightRecorder
+	// FlightEvent is one recorded lifecycle event.
+	FlightEvent = obs.FlightEvent
 )
 
 // Fault kinds.
@@ -239,6 +250,27 @@ func NewFaultLog(numFaults int, track []int32, limit int) *FaultEventLog {
 	return obs.NewFaultLog(numFaults, track, limit)
 }
 
+// NewLogger wraps a slog handler into the nil-safe structured logger the
+// engines accept through Observer.Log. A nil handler yields a nil
+// (disabled) logger.
+func NewLogger(h slog.Handler) *Logger { return obs.NewLogger(h) }
+
+// NewFlightRecorder builds a bounded lifecycle ring buffer holding the
+// most recent capacity events (capacity <= 0 uses the default).
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	return obs.NewFlightRecorder(capacity)
+}
+
+// WithJobID returns a context carrying a correlation ID; the service
+// client sends it as the X-Csim-Job-Id header and the server adopts it
+// as the job's ID.
+func WithJobID(ctx context.Context, id string) context.Context {
+	return obs.WithJobID(ctx, id)
+}
+
+// JobIDFrom extracts the correlation ID from ctx ("" when absent).
+func JobIDFrom(ctx context.Context) string { return obs.JobIDFrom(ctx) }
+
 // New builds a concurrent fault simulator over a universe.
 func New(u *Universe, cfg Config) (*Simulator, error) { return csim.New(u, cfg) }
 
@@ -286,6 +318,9 @@ type (
 	// JobResult is a finished job's payload: detections, coverage and
 	// engine counters.
 	JobResult = service.ResultView
+	// JobPostmortem is a job's flight-recorder dump as served at
+	// GET /api/v1/jobs/{id}/debug.
+	JobPostmortem = service.Postmortem
 )
 
 // NewServer builds the fault-simulation service; call Start on it to

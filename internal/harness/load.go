@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // LatencySummary aggregates a load run's per-job latencies into the
@@ -20,9 +22,19 @@ type LatencySummary struct {
 	Mean time.Duration
 }
 
+// quantileBuckets is the nanosecond layout Summarize estimates its
+// percentiles over: 2x exponential steps from ~1µs to ~37min, wide
+// enough for a timed-out 5m job and fine enough (~2x resolution) for a
+// load report. The service's SLO gauges run the same Quantile code over
+// their own layout — one quantile implementation, two layouts.
+var quantileBuckets = obs.ExpBuckets(1024, 2, 42)
+
 // Summarize computes a LatencySummary over per-job latencies observed
-// during one wall-clock window. A nil/empty sample yields a zero
-// summary.
+// during one wall-clock window. Count, Min, Max and Mean are exact; the
+// percentile ladder is estimated with obs.Histogram.Quantile — the one
+// shared quantile implementation — by observing the samples into the
+// exponential quantileBuckets layout and interpolating. A nil/empty
+// sample yields a zero summary.
 func Summarize(latencies []time.Duration, wall time.Duration) LatencySummary {
 	s := LatencySummary{Count: len(latencies), Wall: wall}
 	if len(latencies) == 0 {
@@ -31,31 +43,31 @@ func Summarize(latencies []time.Duration, wall time.Duration) LatencySummary {
 	sorted := append([]time.Duration(nil), latencies...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 	var sum time.Duration
+	h := obs.NewHistogram(quantileBuckets)
 	for _, d := range sorted {
 		sum += d
+		h.Observe(d.Nanoseconds())
 	}
 	s.Min = sorted[0]
 	s.Max = sorted[len(sorted)-1]
 	s.Mean = sum / time.Duration(len(sorted))
-	s.P50 = percentile(sorted, 0.50)
-	s.P90 = percentile(sorted, 0.90)
-	s.P99 = percentile(sorted, 0.99)
+	// Bucket interpolation can land outside the observed range (the
+	// estimate lives on bucket bounds, the extremes are exact) — clamp so
+	// the ladder stays monotone against Min and Max.
+	q := func(p float64) time.Duration {
+		d := time.Duration(h.Quantile(p))
+		if d < s.Min {
+			return s.Min
+		}
+		if d > s.Max {
+			return s.Max
+		}
+		return d
+	}
+	s.P50 = q(0.50)
+	s.P90 = q(0.90)
+	s.P99 = q(0.99)
 	return s
-}
-
-// percentile reads the nearest-rank percentile from an ascending sample.
-func percentile(sorted []time.Duration, p float64) time.Duration {
-	if len(sorted) == 0 {
-		return 0
-	}
-	idx := int(p*float64(len(sorted))+0.5) - 1
-	if idx < 0 {
-		idx = 0
-	}
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
-	}
-	return sorted[idx]
 }
 
 // Throughput is jobs per second over the wall-clock window (0 when the

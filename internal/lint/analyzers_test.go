@@ -23,6 +23,10 @@ func TestCtxDiscipline(t *testing.T) {
 	linttest.Run(t, lint.CtxDiscipline, "testdata/src/ctxdiscipline")
 }
 
+func TestSlogDiscipline(t *testing.T) {
+	linttest.Run(t, lint.SlogDiscipline, "testdata/src/slogdiscipline")
+}
+
 func TestStatsTag(t *testing.T) {
 	linttest.Run(t, lint.StatsTag, "testdata/src/statstag")
 }

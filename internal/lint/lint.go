@@ -127,6 +127,7 @@ func All() []*Analyzer {
 		MapRange,
 		AtomicDiscipline,
 		CtxDiscipline,
+		SlogDiscipline,
 		StatsTag,
 		ExportDoc,
 	}

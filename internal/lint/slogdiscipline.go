@@ -1,0 +1,194 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// SlogDiscipline enforces the repo's structured-logging conventions on
+// slog-style logging calls (slog package functions, *slog.Logger methods
+// and the obs.Logger wrapper):
+//
+//  1. Constant message: the message argument must be a string literal.
+//     A computed message smuggles variables into the one field log
+//     indexers key on; variability belongs in attrs.
+//  2. snake_case keys: literal attr keys (slog.String/Int/... first
+//     arguments and key-value pairs) must be lowercase snake_case so the
+//     field namespace stays greppable and collision-free.
+//  3. No fmt.Sprintf in arguments: pre-rendering a value throws away its
+//     type and makes the record unqueryable — pass the raw value in a
+//     typed attr instead.
+var SlogDiscipline = &Analyzer{
+	Name: "slogdiscipline",
+	Doc: `enforce structured-logging conventions on slog calls
+
+Rule 1: the message passed to Debug/Info/Warn/Error (and their *Context
+variants) must be a constant string literal.
+
+Rule 2: literal attr keys — the first argument of slog.String, slog.Int,
+slog.Int64, slog.Uint64, slog.Float64, slog.Bool, slog.Duration,
+slog.Time, slog.Any and slog.Group, and key positions of key-value style
+calls — must match ^[a-z][a-z0-9_]*$.
+
+Rule 3: no fmt.Sprintf anywhere in a logging call's arguments; use typed
+attrs so values keep their types.`,
+	Run: runSlogDiscipline,
+}
+
+// slogKeyRe is the attr-key shape rule 2 demands.
+var slogKeyRe = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+// slogAttrCtors are the slog package constructors whose first argument
+// is an attr key.
+var slogAttrCtors = map[string]bool{
+	"String": true, "Int": true, "Int64": true, "Uint64": true,
+	"Float64": true, "Bool": true, "Duration": true, "Time": true,
+	"Any": true, "Group": true,
+}
+
+func runSlogDiscipline(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			name := sel.Sel.Name
+			base := strings.TrimSuffix(name, "Context")
+			switch base {
+			case "Debug", "Info", "Warn", "Error":
+				if isSlogLoggerExpr(pass, sel.X) {
+					msgIdx := 0
+					if base != name { // *Context variants: ctx first
+						msgIdx = 1
+					}
+					checkSlogLogCall(pass, call, msgIdx)
+				}
+			default:
+				if slogAttrCtors[name] && isSlogPkgIdent(pass, sel.X) {
+					checkSlogAttrKey(pass, call)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkSlogLogCall applies rules 1–3 to one logging call whose message
+// sits at args[msgIdx].
+func checkSlogLogCall(pass *Pass, call *ast.CallExpr, msgIdx int) {
+	if len(call.Args) <= msgIdx {
+		return
+	}
+	msg := call.Args[msgIdx]
+	if lit, ok := msg.(*ast.BasicLit); !ok || lit.Kind != token.STRING {
+		pass.Report(msg.Pos(),
+			"slog message must be a constant string literal; put the variable part in a typed attr")
+	}
+	// Key-value style: args after the message alternate key, value unless
+	// the slot already holds a slog.Attr (which occupies one position).
+	i := msgIdx + 1
+	for i < len(call.Args) {
+		arg := call.Args[i]
+		if isSlogAttrType(pass.TypeOf(arg)) {
+			i++
+			continue
+		}
+		if lit, ok := arg.(*ast.BasicLit); ok && lit.Kind == token.STRING {
+			if key, err := strconv.Unquote(lit.Value); err == nil && !slogKeyRe.MatchString(key) {
+				pass.Reportf(lit.Pos(),
+					"slog key %q is not lowercase snake_case", key)
+			}
+		}
+		i += 2
+	}
+	for _, arg := range call.Args[msgIdx:] {
+		reportSprintfIn(pass, arg)
+	}
+}
+
+// checkSlogAttrKey applies rule 2 to a slog attr constructor call.
+// Rule 3 is handled by the enclosing log call's walk, which already
+// covers the constructor's arguments.
+func checkSlogAttrKey(pass *Pass, call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	if lit, ok := call.Args[0].(*ast.BasicLit); ok && lit.Kind == token.STRING {
+		if key, err := strconv.Unquote(lit.Value); err == nil && !slogKeyRe.MatchString(key) {
+			pass.Reportf(lit.Pos(), "slog key %q is not lowercase snake_case", key)
+		}
+	}
+}
+
+// reportSprintfIn reports any fmt.Sprintf call inside expr.
+func reportSprintfIn(pass *Pass, expr ast.Expr) {
+	ast.Inspect(expr, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Sprintf" {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if pn, ok := pass.ObjectOf(id).(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
+				pass.Report(call.Pos(),
+					"fmt.Sprintf inside a slog call flattens the value; pass it through a typed attr")
+			}
+		}
+		return true
+	})
+}
+
+// isSlogPkgIdent reports whether e names the log/slog package.
+func isSlogPkgIdent(pass *Pass, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.ObjectOf(id).(*types.PkgName)
+	return ok && pn.Imported().Path() == "log/slog"
+}
+
+// isSlogLoggerExpr reports whether e is the log/slog package itself, a
+// (*)slog.Logger, or the repo's (*)obs.Logger wrapper.
+func isSlogLoggerExpr(pass *Pass, e ast.Expr) bool {
+	if isSlogPkgIdent(pass, e) {
+		return true
+	}
+	t := pass.TypeOf(e)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Name() != "Logger" {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == "log/slog" || strings.HasSuffix(path, "internal/obs")
+}
+
+// isSlogAttrType reports whether t is slog.Attr.
+func isSlogAttrType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "log/slog" && obj.Name() == "Attr"
+}

@@ -1,0 +1,65 @@
+// Package slogdiscipline is the fixture for the slogdiscipline analyzer.
+package slogdiscipline
+
+import (
+	"fmt"
+	"log/slog"
+)
+
+var lg *slog.Logger
+
+// --- Rule 1: constant message ---
+
+func constMsgOK() {
+	slog.Info("job admitted") // no diagnostic
+	lg.Debug("shard started", slog.Int("shard", 3))
+}
+
+func dynamicMsg(name string) {
+	slog.Info("job " + name)                    // want `slog message must be a constant string literal`
+	lg.Warn(fmt.Sprintf("job %s failed", name)) // want `slog message must be a constant string literal` `fmt.Sprintf inside a slog call`
+	msg := "precomputed"
+	slog.Error(msg) // want `slog message must be a constant string literal`
+}
+
+// --- Rule 2: lowercase snake_case keys ---
+
+func keysOK() {
+	slog.Info("ok", slog.String("job_id", "j1"), slog.Int("fault_shards", 4))
+	slog.Info("ok", "queue_depth", 7) // key-value style, conforming key
+}
+
+func keysBad() {
+	slog.Info("bad", slog.String("jobID", "j1"))    // want `slog key "jobID" is not lowercase snake_case`
+	slog.Info("bad", slog.Int("Shard", 3))          // want `slog key "Shard" is not lowercase snake_case`
+	slog.Info("bad", slog.Any("fault-shards", 4))   // want `slog key "fault-shards" is not lowercase snake_case`
+	slog.Info("bad", "QueueDepth", 7)               // want `slog key "QueueDepth" is not lowercase snake_case`
+	lg.Error("bad", slog.Bool("Timed_Out", true))   // want `slog key "Timed_Out" is not lowercase snake_case`
+	slog.Info("ok", "engine", "csim-P")             // no diagnostic: "csim-P" is a value, not a key
+	slog.Info("bad", slog.Group("Grid",            // want `slog key "Grid" is not lowercase snake_case`
+		slog.Int("windows", 2)))
+}
+
+// --- Rule 3: no fmt.Sprintf in arguments ---
+
+func sprintfBad(n int) {
+	slog.Info("shape chosen", slog.String("plan", fmt.Sprintf("%dx%d", n, n))) // want `fmt.Sprintf inside a slog call`
+	lg.Info("shape chosen", "plan", fmt.Sprintf("%dx%d", n, n))                // want `fmt.Sprintf inside a slog call`
+}
+
+func sprintfElsewhereOK(n int) string {
+	// Sprintf outside a logging call is none of this analyzer's business.
+	s := fmt.Sprintf("%dx%d", n, n) // no diagnostic
+	slog.Info("shape chosen", slog.String("plan", s))
+	return s
+}
+
+// A non-slog type with the same method names is left alone.
+type fakeLogger struct{}
+
+func (fakeLogger) Info(msg string, args ...any) {}
+
+func fakeOK(name string) {
+	var f fakeLogger
+	f.Info("job "+name, "BadKey", 1) // no diagnostic
+}

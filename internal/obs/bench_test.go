@@ -1,28 +1,38 @@
 package obs
 
-import "testing"
+import (
+	"log/slog"
+	"testing"
+)
 
 // TestNilObsZeroAllocs is the disabled-path regression gate (run in CI):
 // every handle operation on the nil fast path must cost zero heap
 // allocations, so engines can instrument hot loops unconditionally.
 func TestNilObsZeroAllocs(t *testing.T) {
 	var (
-		r *Registry
-		c *Counter
-		g *Gauge
-		h *Histogram
-		l *FaultLog
-		o *Observer
+		r  *Registry
+		c  *Counter
+		g  *Gauge
+		h  *Histogram
+		l  *FaultLog
+		o  *Observer
+		lg *Logger
+		fr *FlightRecorder
 	)
 	checks := map[string]func(){
 		"counter.add":    func() { c.Add(1) },
 		"gauge.set":      func() { g.Set(1) },
 		"gauge.setmax":   func() { g.SetMax(1) },
 		"hist.observe":   func() { h.Observe(1) },
+		"hist.quantile":  func() { _ = h.Quantile(0.9) },
 		"registry.hand":  func() { _ = r.Counter("x") },
 		"faultlog.emit":  func() { l.Emit(FaultEvent{Fault: 1}) },
 		"faultlog.track": func() { _ = l.Tracks(1) },
 		"observer.span":  func() { o.Span("x").End() },
+		// Note logger.With is absent: it is a per-job setup call whose
+		// attrs intentionally escape into the handler, not a hot path.
+		"logger.info": func() { lg.Info("msg", slog.Int("shard", 1)) },
+		"flight.record": func() { fr.Record("kind", "detail") },
 	}
 	for name, fn := range checks {
 		if allocs := testing.AllocsPerRun(1000, fn); allocs != 0 {
@@ -75,6 +85,27 @@ func BenchmarkDisabledFaultLog(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		l.Emit(FaultEvent{Vec: int32(i), Fault: 1, Kind: FaultDiverged})
+	}
+}
+
+// BenchmarkDisabledLogger is the nil fast path of structured logging:
+// the attrs fold into a slice that never escapes (slog.LogAttrs copies
+// them into the record's inline array), so the disabled cost is the nil
+// check alone.
+func BenchmarkDisabledLogger(b *testing.B) {
+	var lg *Logger
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		lg.Info("job running", slog.Int("shard", i))
+	}
+}
+
+// BenchmarkDisabledFlight is the nil fast path of the flight recorder.
+func BenchmarkDisabledFlight(b *testing.B) {
+	var fr *FlightRecorder
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		fr.Record("shard_start", "detail")
 	}
 }
 

@@ -167,6 +167,86 @@ func (h *Histogram) Buckets() (bounds []int64, counts []int64) {
 	return bounds, counts
 }
 
+// Quantile estimates the q-quantile (0 <= q <= 1) of the observed
+// distribution by linear interpolation inside the fixed bucket layout:
+// the target rank q·n is located in the cumulative bucket counts and
+// mapped to a value between the bucket's lower and upper bound. The
+// first bucket interpolates from 0; ranks landing in the overflow
+// bucket clamp to the last bound (there is no upper edge to
+// interpolate toward). Returns 0 on a nil or empty histogram. This is
+// the one quantile implementation in the tree — the load harness and
+// the service's SLO burn-rate gauges both call it.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	// Sum a consistent view of the per-bucket counts rather than trusting
+	// h.n: concurrent Observe calls bump counts and n separately, and the
+	// walk below must never run past its own total.
+	counts := make([]int64, len(h.counts))
+	var total int64
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i, c := range counts {
+		if c == 0 {
+			cum += c
+			continue
+		}
+		if float64(cum+c) < rank {
+			cum += c
+			continue
+		}
+		if i == len(h.bounds) {
+			// Overflow bucket: unbounded above, clamp to the last bound.
+			return float64(h.bounds[len(h.bounds)-1])
+		}
+		lo := float64(0)
+		if i > 0 {
+			lo = float64(h.bounds[i-1])
+		}
+		hi := float64(h.bounds[i])
+		frac := (rank - float64(cum)) / float64(c)
+		if frac < 0 {
+			frac = 0
+		} else if frac > 1 {
+			frac = 1
+		}
+		return lo + frac*(hi-lo)
+	}
+	return float64(h.bounds[len(h.bounds)-1])
+}
+
+// NewHistogram builds a standalone histogram with the given ascending
+// bounds, outside any registry — for callers that want Observe/Quantile
+// over a private sample set (the load harness) without publishing a
+// metric. Panics if bounds are empty or not strictly ascending.
+func NewHistogram(bounds []int64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: NewHistogram needs at least one bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: NewHistogram bounds not ascending")
+		}
+	}
+	return &Histogram{
+		bounds: append([]int64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
 // ExpBuckets builds n ascending bounds starting at start, each factor
 // times the previous — the fixed layouts used for durations and sizes.
 func ExpBuckets(start, factor int64, n int) []int64 {
@@ -352,8 +432,8 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	}{r.Snapshot()})
 }
 
-// Observer bundles the three observability sinks an engine can be given.
-// A nil *Observer — and any nil field of a non-nil one — disables that
+// Observer bundles the observability sinks an engine can be given. A
+// nil *Observer — and any nil field of a non-nil one — disables that
 // aspect with the zero-cost fast path.
 type Observer struct {
 	// Metrics receives counter/gauge/histogram updates.
@@ -362,6 +442,10 @@ type Observer struct {
 	Tracer *Tracer
 	// Faults records per-fault lifecycle events.
 	Faults *FaultLog
+	// Log receives structured log records (nil disables logging).
+	Log *Logger
+	// Flight receives job-lifecycle flight-recorder events.
+	Flight *FlightRecorder
 }
 
 // Registry returns the metric registry (nil when disabled).
@@ -378,6 +462,22 @@ func (o *Observer) FaultLog() *FaultLog {
 		return nil
 	}
 	return o.Faults
+}
+
+// Logger returns the structured logger (nil when disabled).
+func (o *Observer) Logger() *Logger {
+	if o == nil {
+		return nil
+	}
+	return o.Log
+}
+
+// Recorder returns the flight recorder (nil when disabled).
+func (o *Observer) Recorder() *FlightRecorder {
+	if o == nil {
+		return nil
+	}
+	return o.Flight
 }
 
 // Span opens a span on the observer's tracer (nil-safe).

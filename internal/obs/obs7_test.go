@@ -1,0 +1,229 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestHistogramQuantile pins the interpolation: a uniform fill of
+// 1..100 into ten equal buckets must put the q-quantile at ~100q.
+func TestHistogramQuantile(t *testing.T) {
+	bounds := []int64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	h := NewHistogram(bounds)
+	for v := int64(1); v <= 100; v++ {
+		h.Observe(v)
+	}
+	for _, tc := range []struct {
+		q    float64
+		want float64
+	}{
+		{0.50, 50}, {0.90, 90}, {0.99, 99}, {1.0, 100}, {0.0, 0},
+	} {
+		if got := h.Quantile(tc.q); math.Abs(got-tc.want) > 1.0 {
+			t.Errorf("Quantile(%v) = %v, want ~%v", tc.q, got, tc.want)
+		}
+	}
+}
+
+// TestHistogramQuantileEdges covers the empty, nil, and overflow cases.
+func TestHistogramQuantileEdges(t *testing.T) {
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Errorf("nil histogram Quantile = %v, want 0", got)
+	}
+	h := NewHistogram([]int64{10, 100})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram Quantile = %v, want 0", got)
+	}
+	// All mass in the overflow bucket clamps to the last bound.
+	h.Observe(5000)
+	h.Observe(9000)
+	if got := h.Quantile(0.5); got != 100 {
+		t.Errorf("overflow Quantile = %v, want 100 (last bound)", got)
+	}
+}
+
+// TestWritePrometheusRoundTrip feeds the writer's own output through
+// the exposition checker and spot-checks the emitted series.
+func TestWritePrometheusRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("serve.jobs_total").Add(7)
+	r.Gauge("sched.fault_shards").Set(4)
+	h := r.Histogram("serve.job_run_ns", ExpBuckets(1000, 10, 3))
+	h.Observe(500)    // first bucket
+	h.Observe(5000)   // second
+	h.Observe(999999) // overflow
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"# TYPE serve_jobs_total counter",
+		"serve_jobs_total 7",
+		"# TYPE sched_fault_shards gauge",
+		"sched_fault_shards 4",
+		"# TYPE serve_job_run_ns histogram",
+		`serve_job_run_ns_bucket{le="1000"} 1`,
+		`serve_job_run_ns_bucket{le="10000"} 2`,
+		`serve_job_run_ns_bucket{le="+Inf"} 3`,
+		"serve_job_run_ns_count 3",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	n, err := CheckExposition(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("CheckExposition rejected our own output: %v\n%s", err, text)
+	}
+	if n < 7 {
+		t.Errorf("CheckExposition validated %d samples, want >= 7", n)
+	}
+}
+
+// TestCheckExpositionRejects pins the checker against malformed
+// payloads so the CI scrape validation means something.
+func TestCheckExpositionRejects(t *testing.T) {
+	for name, payload := range map[string]string{
+		"bad-name":          "# TYPE ok counter\n0bad 1\n",
+		"bad-value":         "# TYPE x counter\nx one\n",
+		"no-type":           "lonely 3\n",
+		"missing-inf":       "# TYPE h histogram\nh_bucket{le=\"10\"} 1\nh_sum 1\nh_count 1\n",
+		"non-cumulative":    "# TYPE h histogram\nh_bucket{le=\"10\"} 5\nh_bucket{le=\"20\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+		"count-vs-inf":      "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 4\n",
+		"descending-bounds": "# TYPE h histogram\nh_bucket{le=\"20\"} 1\nh_bucket{le=\"10\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 2\n",
+	} {
+		if _, err := CheckExposition(strings.NewReader(payload)); err == nil {
+			t.Errorf("%s: CheckExposition accepted malformed payload:\n%s", name, payload)
+		}
+	}
+}
+
+// TestFlightRecorderWraparound fills a small ring past capacity and
+// checks the retained window is the newest events, oldest-first, with
+// the overwritten ones counted as dropped.
+func TestFlightRecorderWraparound(t *testing.T) {
+	fr := NewFlightRecorder(4)
+	for i := 0; i < 10; i++ {
+		fr.Recordf("ev", "%d", i)
+	}
+	evs := fr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if want := fmt.Sprintf("%d", 6+i); ev.Detail != want {
+			t.Errorf("event %d detail = %q, want %q", i, ev.Detail, want)
+		}
+		if ev.Kind != "ev" {
+			t.Errorf("event %d kind = %q", i, ev.Kind)
+		}
+	}
+	if got := fr.Dropped(); got != 6 {
+		t.Errorf("Dropped = %d, want 6", got)
+	}
+	if got := fr.Len(); got != 4 {
+		t.Errorf("Len = %d, want 4", got)
+	}
+	// Timestamps must be monotone non-decreasing oldest-first.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Time.Before(evs[i-1].Time) {
+			t.Errorf("event %d timestamp before event %d", i, i-1)
+		}
+	}
+}
+
+// TestFlightRecorderNil pins the disabled state.
+func TestFlightRecorderNil(t *testing.T) {
+	var fr *FlightRecorder
+	fr.Record("x", "y")
+	fr.Recordf("x", "%d", 1)
+	if fr.Events() != nil || fr.Len() != 0 || fr.Dropped() != 0 {
+		t.Error("nil recorder must be inert")
+	}
+}
+
+// TestLoggerAttrs checks the JSON handler path end-to-end: With-bound
+// attrs plus per-record attrs all land in the record.
+func TestLoggerAttrs(t *testing.T) {
+	var buf bytes.Buffer
+	lg := NewLogger(slog.NewJSONHandler(&buf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	jl := lg.With(slog.String("job_id", "j42"), slog.String("engine", "csim-grid"))
+	jl.Info("job running", slog.String("phase", "run"), slog.Int("shard", 3))
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("log record is not JSON: %v (%q)", err, buf.String())
+	}
+	for k, want := range map[string]any{
+		"msg": "job running", "job_id": "j42", "engine": "csim-grid",
+		"phase": "run", "shard": float64(3), "level": "INFO",
+	} {
+		if rec[k] != want {
+			t.Errorf("record[%q] = %v, want %v", k, rec[k], want)
+		}
+	}
+	if !lg.Enabled(slog.LevelDebug) {
+		t.Error("Enabled(debug) = false on a debug-level handler")
+	}
+}
+
+// TestLoggerNil pins the disabled state: nil in, nil out, no panics.
+func TestLoggerNil(t *testing.T) {
+	if NewLogger(nil) != nil {
+		t.Error("NewLogger(nil) must return the disabled logger")
+	}
+	var lg *Logger
+	if lg.With(slog.String("k", "v")) != nil {
+		t.Error("nil.With must stay nil")
+	}
+	lg.Debug("x")
+	lg.Info("x")
+	lg.Warn("x")
+	lg.Error("x")
+	if lg.Enabled(slog.LevelError) {
+		t.Error("nil logger must report disabled")
+	}
+}
+
+// TestJobIDContext round-trips the correlation ID through a context.
+func TestJobIDContext(t *testing.T) {
+	ctx := context.Background()
+	if got := JobIDFrom(ctx); got != "" {
+		t.Errorf("JobIDFrom(empty ctx) = %q, want empty", got)
+	}
+	ctx = WithJobID(ctx, "grid-7")
+	if got := JobIDFrom(ctx); got != "grid-7" {
+		t.Errorf("JobIDFrom = %q, want grid-7", got)
+	}
+}
+
+// TestSampleRuntime checks the runtime. gauges exist and are sane after
+// one sample; nil registry must be a no-op.
+func TestSampleRuntime(t *testing.T) {
+	SampleRuntime(nil)
+	r := NewRegistry()
+	SampleRuntime(r)
+	p, ok := r.Get("runtime.goroutines")
+	if !ok || p.Value < 1 {
+		t.Errorf("runtime.goroutines = %+v (ok=%v), want >= 1", p, ok)
+	}
+	if _, ok := r.Get("runtime.heap_objects_bytes"); !ok {
+		t.Error("runtime.heap_objects_bytes not published")
+	}
+	for _, name := range []string{
+		"runtime.gc_cycles",
+		"runtime.gc_pause_p50_ns", "runtime.gc_pause_p99_ns",
+		"runtime.sched_latency_p50_ns", "runtime.sched_latency_p99_ns",
+	} {
+		if _, ok := r.Get(name); !ok {
+			t.Errorf("%s not published", name)
+		}
+	}
+}

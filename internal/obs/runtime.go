@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+	"time"
+)
+
+// runtimeSampleNames are the runtime/metrics series the sampler reads;
+// the order matches the switch in publishRuntimeSample.
+var runtimeSampleNames = []string{
+	"/sched/goroutines:goroutines",
+	"/memory/classes/heap/objects:bytes",
+	"/gc/cycles/total:gc-cycles",
+	"/gc/pauses:seconds",
+	"/sched/latencies:seconds",
+}
+
+// SampleRuntime reads one runtime/metrics snapshot and publishes it
+// into the registry under the runtime. prefix:
+//
+//	runtime.goroutines            live goroutine count
+//	runtime.heap_objects_bytes    bytes in live + unswept heap objects
+//	runtime.gc_cycles             completed GC cycles
+//	runtime.gc_pause_p50_ns       median stop-the-world GC pause
+//	runtime.gc_pause_p99_ns       tail stop-the-world GC pause
+//	runtime.sched_latency_p50_ns  median goroutine ready→run latency
+//	runtime.sched_latency_p99_ns  tail goroutine ready→run latency
+//
+// The pause and latency quantiles come from the runtime's own
+// accumulated Float64Histograms, interpolated the same way as
+// Histogram.Quantile. A nil registry makes this a no-op.
+func SampleRuntime(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	samples := make([]metrics.Sample, len(runtimeSampleNames))
+	for i, name := range runtimeSampleNames {
+		samples[i].Name = name
+	}
+	metrics.Read(samples)
+	for _, s := range samples {
+		switch s.Name {
+		case "/sched/goroutines:goroutines":
+			setRuntimeGauge(reg, "runtime.goroutines", s)
+		case "/memory/classes/heap/objects:bytes":
+			setRuntimeGauge(reg, "runtime.heap_objects_bytes", s)
+		case "/gc/cycles/total:gc-cycles":
+			setRuntimeGauge(reg, "runtime.gc_cycles", s)
+		case "/gc/pauses:seconds":
+			setRuntimeQuantiles(reg, "runtime.gc_pause", s)
+		case "/sched/latencies:seconds":
+			setRuntimeQuantiles(reg, "runtime.sched_latency", s)
+		}
+	}
+}
+
+// setRuntimeGauge publishes one scalar runtime sample as a gauge.
+func setRuntimeGauge(reg *Registry, name string, s metrics.Sample) {
+	switch s.Value.Kind() {
+	case metrics.KindUint64:
+		reg.Gauge(name).Set(int64(s.Value.Uint64()))
+	case metrics.KindFloat64:
+		reg.Gauge(name).Set(int64(s.Value.Float64()))
+	}
+}
+
+// setRuntimeQuantiles publishes the p50/p99 of a seconds-valued runtime
+// histogram as <name>_p50_ns / <name>_p99_ns gauges.
+func setRuntimeQuantiles(reg *Registry, name string, s metrics.Sample) {
+	if s.Value.Kind() != metrics.KindFloat64Histogram {
+		return
+	}
+	h := s.Value.Float64Histogram()
+	reg.Gauge(name+"_p50_ns").Set(int64(float64HistQuantile(h, 0.50) * 1e9))
+	reg.Gauge(name+"_p99_ns").Set(int64(float64HistQuantile(h, 0.99) * 1e9))
+}
+
+// float64HistQuantile interpolates the q-quantile of a runtime
+// Float64Histogram: Buckets has len(Counts)+1 edges and may open with
+// -Inf or close with +Inf, which clamp to the nearest finite edge.
+func float64HistQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	if h == nil || len(h.Counts) == 0 {
+		return 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i, c := range h.Counts {
+		if c == 0 || float64(cum+c) < rank {
+			cum += c
+			continue
+		}
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		if math.IsInf(lo, -1) {
+			lo = hi
+		}
+		if math.IsInf(hi, 1) {
+			hi = lo
+		}
+		frac := (rank - float64(cum)) / float64(c)
+		if frac < 0 {
+			frac = 0
+		} else if frac > 1 {
+			frac = 1
+		}
+		return lo + frac*(hi-lo)
+	}
+	last := h.Buckets[len(h.Buckets)-1]
+	if math.IsInf(last, 1) {
+		last = h.Buckets[len(h.Buckets)-2]
+	}
+	return last
+}
+
+// StartRuntimeSampler samples the runtime once immediately and then
+// every interval (default 5s when interval <= 0) until the returned
+// stop function is called. csimd runs one for the lifetime of the
+// process so /metricsz always carries fresh runtime. gauges.
+func StartRuntimeSampler(reg *Registry, interval time.Duration) (stop func()) {
+	if reg == nil {
+		return func() {}
+	}
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	SampleRuntime(reg)
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				SampleRuntime(reg)
+			}
+		}
+	}()
+	var once bool
+	return func() {
+		if once {
+			return
+		}
+		once = true
+		close(done)
+		<-finished
+	}
+}

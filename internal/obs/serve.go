@@ -38,7 +38,8 @@ func PublishExpvar(name string, r *Registry) {
 //
 //	/debug/vars   expvar JSON (including the registry, once published)
 //	/debug/pprof  the full net/http/pprof suite
-//	/metricsz     the registry snapshot as {"metrics": [...]}
+//	/metricsz     the registry snapshot as {"metrics": [...]}; with
+//	              ?format=prometheus, the text exposition format instead
 //
 // csimd composes these with its own job API; Serve uses them standalone.
 func Register(mux *http.ServeMux, r *Registry) {
@@ -48,7 +49,12 @@ func Register(mux *http.ServeMux, r *Registry) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	mux.HandleFunc("/metricsz", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/metricsz", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "prometheus" {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = r.WritePrometheus(w)
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
 		_ = r.WriteJSON(w)
 	})

@@ -2,6 +2,7 @@ package parallel
 
 import (
 	"fmt"
+	"log/slog"
 	"sync"
 
 	"repro/internal/csim"
@@ -84,8 +85,22 @@ func SimulateGrid(u *faults.Universe, vs *vectors.Set, opt GridOptions) (*faults
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			ob.Recorder().Recordf("shard_start", "csim-grid shard %d: %d faults over %d windows", i, len(parts[i]), w)
+			ob.Logger().Debug("shard start",
+				slog.String("phase", "fault-sim"),
+				slog.Int("shard", i),
+				slog.Int("faults", len(parts[i])),
+				slog.Int("windows", w))
 			results[i], stats[i], repairs[i], errs[i] = simulateWindows(
 				u, vs, trace, parts[i], w, opt.Config, ob, GridShardPrefix(i), i*w)
+			if errs[i] == nil {
+				ob.Recorder().Recordf("shard_finish", "csim-grid shard %d: %d detected, %d repaired", i, results[i].NumDet, repairs[i])
+				ob.Logger().Debug("shard finish",
+					slog.String("phase", "fault-sim"),
+					slog.Int("shard", i),
+					slog.Int("detected", results[i].NumDet),
+					slog.Int("repaired", repairs[i]))
+			}
 		}(i)
 	}
 	wg.Wait()
@@ -98,11 +113,19 @@ func SimulateGrid(u *faults.Universe, vs *vectors.Set, opt GridOptions) (*faults
 	res := faults.MergeResults(results...)
 	merged := csim.MergeStats(stats...)
 	msp.End()
+	totalRepaired := 0
+	for _, r := range repairs {
+		totalRepaired += r
+	}
+	ob.Recorder().Recordf("merge", "csim-grid: %dx%d grid merged, %d detected, %d repaired", k, w, res.NumDet, totalRepaired)
+	ob.Logger().Debug("merge",
+		slog.String("phase", "merge"),
+		slog.Int("fault_shards", k),
+		slog.Int("windows", w),
+		slog.Int("detected", res.NumDet),
+		slog.Int("repaired", totalRepaired))
 	if reg := ob.Registry(); reg != nil {
-		repaired := 0
-		for _, r := range repairs {
-			repaired += r
-		}
+		repaired := totalRepaired
 		csim.PublishStats(reg, GridPrefix, merged)
 		reg.Gauge(GridPrefix + "fault_shards").Set(int64(k))
 		reg.Gauge(GridPrefix + "windows").Set(int64(w))

@@ -14,6 +14,7 @@ package parallel
 
 import (
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sort"
 	"sync"
@@ -110,6 +111,11 @@ func Simulate(u *faults.Universe, vs *vectors.Set, opt Options) (*faults.Result,
 			// trace lane; lane 0 stays for the run-level phases.
 			wsp := ob.SpanTID(fmt.Sprintf("worker%d", i), i+1)
 			defer wsp.End()
+			ob.Recorder().Recordf("shard_start", "csim-P worker %d: %d faults", i, len(parts[i]))
+			ob.Logger().Debug("shard start",
+				slog.String("phase", "fault-sim"),
+				slog.Int("shard", i),
+				slog.Int("faults", len(parts[i])))
 			cfg := opt.Config
 			cfg.Obs = ob
 			cfg.ObsPrefix = WorkerPrefix(i)
@@ -124,6 +130,11 @@ func Simulate(u *faults.Universe, vs *vectors.Set, opt Options) (*faults.Result,
 			}
 			results[i] = sim.Run(vs)
 			stats[i] = sim.Stats()
+			ob.Recorder().Recordf("shard_finish", "csim-P worker %d: %d detected", i, results[i].NumDet)
+			ob.Logger().Debug("shard finish",
+				slog.String("phase", "fault-sim"),
+				slog.Int("shard", i),
+				slog.Int("detected", results[i].NumDet))
 		}(i)
 	}
 	wg.Wait()
@@ -137,6 +148,11 @@ func Simulate(u *faults.Universe, vs *vectors.Set, opt Options) (*faults.Result,
 	res := faults.MergeResults(results...)
 	merged := csim.MergeStats(stats...)
 	msp.End()
+	ob.Recorder().Recordf("merge", "csim-P: %d workers merged, %d detected", k, res.NumDet)
+	ob.Logger().Debug("merge",
+		slog.String("phase", "merge"),
+		slog.Int("workers", k),
+		slog.Int("detected", res.NumDet))
 	if reg := ob.Registry(); reg != nil {
 		// Run totals next to the per-worker namespaces, via the same
 		// generic Stats tag table the merge uses.

@@ -2,6 +2,7 @@ package parallel
 
 import (
 	"fmt"
+	"log/slog"
 	"runtime"
 
 	"repro/internal/csim"
@@ -69,6 +70,15 @@ func (p Plan) String() string { return fmt.Sprintf("%dx%d", p.FaultShards, p.Win
 // shapes yield equal plans (with MaxProcs <= 0 the processor count of
 // the deciding host is part of the shape).
 func Decide(sh JobShape) Plan {
+	plan, _ := Explain(sh)
+	return plan
+}
+
+// Explain is Decide plus the verdict's reasoning: the same plan and a
+// one-line account of the axis capacities and which branch of the
+// heuristic fired — what the flight recorder stores so a postmortem
+// shows not just the K×W split but why it was chosen.
+func Explain(sh JobShape) (Plan, string) {
 	p := sh.MaxProcs
 	if p <= 0 {
 		p = runtime.NumCPU()
@@ -94,18 +104,26 @@ func Decide(sh JobShape) Plan {
 		dr = 1
 	}
 	maxW := clamp(int(float64(sh.Vectors/MinVectorsPerWindow) * (1 - dr)))
+	caps := fmt.Sprintf("procs=%d fault_axis_cap=%d vector_axis_cap=%d drop_rate=%.2f",
+		p, maxF, maxW, dr)
 	if maxF == 1 || maxW == 1 {
 		// At most one axis has capacity: single-axis split (or 1×1).
-		return Plan{FaultShards: maxF, Windows: maxW}
+		why := caps + ": at most one axis clears its granularity floor, single-axis split"
+		if maxF == 1 && maxW == 1 {
+			why = caps + ": both axes below their granularity floors, single simulator"
+		}
+		return Plan{FaultShards: maxF, Windows: maxW}, why
 	}
 	f := maxF
 	if f > p {
 		f = p
 	}
+	why := caps + ": fault axis first, vector axis takes the remaining budget"
 	if f == p && p >= 4 {
 		// Both axes have capacity and faults alone would eat the whole
 		// budget: cede half to the vector axis for a 2-D grid.
 		f = p / 2
+		why = caps + ": fault axis would eat the whole budget, ceding half to the vector axis"
 	}
 	w := p / f
 	if w > maxW {
@@ -114,7 +132,7 @@ func Decide(sh JobShape) Plan {
 	if w < 1 {
 		w = 1
 	}
-	return Plan{FaultShards: f, Windows: w}
+	return Plan{FaultShards: f, Windows: w}, why
 }
 
 // AutoOptions configures a scheduler-planned run.
@@ -142,7 +160,7 @@ func SimulateAuto(u *faults.Universe, vs *vectors.Set, opt AutoOptions) (*faults
 		MaxProcs: opt.MaxProcs,
 		DropRate: opt.DropRate,
 	}
-	plan := Decide(sh)
+	plan, why := Explain(sh)
 	if reg := opt.Obs.Registry(); reg != nil {
 		reg.Gauge("sched.fault_shards").Set(int64(plan.FaultShards))
 		reg.Gauge("sched.windows").Set(int64(plan.Windows))
@@ -152,6 +170,12 @@ func SimulateAuto(u *faults.Universe, vs *vectors.Set, opt AutoOptions) (*faults
 		}
 		reg.Gauge("sched.max_procs").Set(int64(mp))
 	}
+	opt.Obs.Recorder().Recordf("decide", "plan %s (%s)", plan, why)
+	opt.Obs.Logger().Info("sched decide",
+		slog.String("phase", "decide"),
+		slog.Int("fault_shards", plan.FaultShards),
+		slog.Int("windows", plan.Windows),
+		slog.String("why", why))
 	res, st, err := SimulateGrid(u, vs, GridOptions{
 		FaultShards: plan.FaultShards,
 		Windows:     plan.Windows,

@@ -17,6 +17,7 @@ package parallel
 
 import (
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
 
@@ -160,8 +161,17 @@ func simulateWindows(u *faults.Universe, vs *vectors.Set, trace *goodsim.Trace,
 			defer wg.Done()
 			wsp := ob.SpanTID(fmt.Sprintf("window%d", wi), laneBase+wi+1)
 			defer wsp.End()
+			ob.Recorder().Recordf("window_start", "%swindow %d: vectors [%d,%d) speculating", prefix, wi, bounds[wi], bounds[wi+1])
+			ob.Logger().Debug("window speculate",
+				slog.String("phase", "fault-sim"),
+				slog.Int("window", wi),
+				slog.Int("vec_from", bounds[wi]),
+				slog.Int("vec_to", bounds[wi+1]))
 			expected[wi] = csim.ExpectedSeqState(u, trace, bounds[wi], ids)
 			spec[wi] = runWindow(wi, ids, expected[wi], prefix+fmt.Sprintf("window%d.", wi))
+			if spec[wi].err == nil {
+				ob.Recorder().Recordf("window_finish", "%swindow %d: %d detected", prefix, wi, spec[wi].res.NumDet)
+			}
 		}(wi)
 	}
 	wg.Wait()
@@ -187,6 +197,11 @@ func simulateWindows(u *faults.Universe, vs *vectors.Set, trace *goodsim.Trace,
 		allStats = append(allStats, spec[wi].stats)
 		var rep *windowRun
 		if len(dirty) > 0 {
+			ob.Recorder().Recordf("repair", "%swindow %d: %d dirty faults re-simulated", prefix, wi, len(dirty))
+			ob.Logger().Debug("window repair",
+				slog.String("phase", "stitch"),
+				slog.Int("window", wi),
+				slog.Int("dirty", len(dirty)))
 			r := runWindow(wi, dirty, exact.Restrict(dirty),
 				prefix+fmt.Sprintf("window%d.repair.", wi))
 			if r.err != nil {

@@ -82,6 +82,12 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	// Propagate the correlation ID: a context prepared with
+	// obs.WithJobID names the job at submit time and correlates every
+	// follow-up request — the coordinator→worker fan-out contract.
+	if id := obs.JobIDFrom(ctx); id != "" {
+		req.Header.Set(JobIDHeader, id)
+	}
 	resp, err := c.http().Do(req)
 	if err != nil {
 		return err
@@ -106,11 +112,21 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 }
 
 // Submit submits a job, returning its initial (queued) view. A full
-// queue surfaces as *QueueFullError.
+// queue surfaces as *QueueFullError. When ctx carries a correlation ID
+// (obs.WithJobID), it is sent as the X-Csim-Job-Id header and becomes
+// the job's ID; a duplicate surfaces as an *APIError with status 409.
 func (c *Client) Submit(ctx context.Context, spec JobSpec) (JobView, error) {
 	var v JobView
 	err := c.do(ctx, http.MethodPost, "/api/v1/jobs", spec, &v)
 	return v, err
+}
+
+// Debug fetches a job's flight-recorder postmortem
+// (GET /api/v1/jobs/{id}/debug).
+func (c *Client) Debug(ctx context.Context, id string) (Postmortem, error) {
+	var pm Postmortem
+	err := c.do(ctx, http.MethodGet, "/api/v1/jobs/"+id+"/debug", nil, &pm)
+	return pm, err
 }
 
 // Job fetches a job's current view.
@@ -185,4 +201,26 @@ func (c *Client) Metricsz(ctx context.Context) (map[string]obs.Point, error) {
 		out[p.Name] = p
 	}
 	return out, nil
+}
+
+// MetricszProm fetches the server's metrics in the Prometheus text
+// exposition format (/metricsz?format=prometheus), raw.
+func (c *Client) MetricszProm(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/metricsz?format=prometheus", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("metricsz: HTTP %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", fmt.Errorf("metricsz: %w", err)
+	}
+	return string(body), nil
 }

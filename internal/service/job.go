@@ -16,7 +16,39 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
+
+// JobIDHeader is the correlation header: a submit request may carry its
+// own job ID in it (minted by a coordinator, say), the server echoes
+// the admitted ID on every job-API response, and ServeClient forwards
+// the ID it finds in the request context — so one correlation ID
+// follows a job across process boundaries.
+const JobIDHeader = "X-Csim-Job-Id"
+
+// validJobID constrains client-supplied correlation IDs: 1–128 chars,
+// leading alphanumeric, then alphanumerics plus . _ - (no "/", which
+// the job API routes on).
+func validJobID(id string) bool {
+	if len(id) == 0 || len(id) > 128 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		alnum := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+		if i == 0 {
+			if !alnum {
+				return false
+			}
+			continue
+		}
+		if !alnum && c != '.' && c != '_' && c != '-' {
+			return false
+		}
+	}
+	return true
+}
 
 // Fault models and engine names accepted by JobSpec, in the spelling the
 // CLIs use.
@@ -206,6 +238,39 @@ type JobView struct {
 	Result *ResultView `json:"result,omitempty"`
 }
 
+// Postmortem is the flight-recorder dump served at
+// GET /api/v1/jobs/{id}/debug: the job's identity and terminal state
+// plus every retained lifecycle event — admission, queueing, cache
+// verdict, the scheduler's K×W decision and why, shard/window
+// start/finish, repair counts, merge — oldest first. It is most useful
+// for failed, timed-out or cancelled jobs, but is available for any
+// job still retained.
+type Postmortem struct {
+	// JobID is the correlation ID.
+	JobID string `json:"job_id"`
+	// Status is the job's lifecycle state at dump time.
+	Status Status `json:"status"`
+	// Engine is the engine the spec named.
+	Engine string `json:"engine"`
+	// Circuit is the circuit label (suite name or inline bench name).
+	Circuit string `json:"circuit"`
+	// Model is the fault model.
+	Model string `json:"model"`
+	// Submitted, Started and Finished are RFC3339Nano timestamps
+	// (Started/Finished empty until reached).
+	Submitted string `json:"submitted"`
+	// Started is set when a worker picked the job up.
+	Started string `json:"started,omitempty"`
+	// Finished is set on a terminal state.
+	Finished string `json:"finished,omitempty"`
+	// Error is the failure/cancellation reason, if any.
+	Error string `json:"error,omitempty"`
+	// Events is the flight-recorder ring content, oldest first.
+	Events []obs.FlightEvent `json:"events"`
+	// DroppedEvents counts events evicted by the ring bound.
+	DroppedEvents int64 `json:"dropped_events"`
+}
+
 // job is the server-side record. Mutable fields are guarded by mu; done
 // closes exactly once on reaching a terminal state.
 type job struct {
@@ -215,6 +280,9 @@ type job struct {
 	// through the cache before enqueueing) and read-only afterwards.
 	cc       *Compiled
 	cacheHit bool
+	// flight is the job's bounded lifecycle recorder, fixed at admission;
+	// the recorder is internally synchronized.
+	flight *obs.FlightRecorder
 
 	mu        sync.Mutex
 	status    Status
@@ -257,6 +325,33 @@ func (j *job) view() JobView {
 		v.Finished = j.finished.Format(time.RFC3339Nano)
 	}
 	return v
+}
+
+// postmortem snapshots the job state and flight-recorder content.
+func (j *job) postmortem() Postmortem {
+	j.mu.Lock()
+	pm := Postmortem{
+		JobID:     j.id,
+		Status:    j.status,
+		Engine:    j.spec.Engine,
+		Circuit:   circuitLabel(&j.spec),
+		Model:     j.spec.Model,
+		Submitted: j.submitted.Format(time.RFC3339Nano),
+		Error:     j.err,
+	}
+	if !j.started.IsZero() {
+		pm.Started = j.started.Format(time.RFC3339Nano)
+	}
+	if !j.finished.IsZero() {
+		pm.Finished = j.finished.Format(time.RFC3339Nano)
+	}
+	j.mu.Unlock()
+	pm.Events = j.flight.Events()
+	if pm.Events == nil {
+		pm.Events = []obs.FlightEvent{}
+	}
+	pm.DroppedEvents = j.flight.Dropped()
+	return pm
 }
 
 // setRunning transitions queued → running; false when already terminal
@@ -304,11 +399,13 @@ func (j *job) requestCancel(now time.Time) bool {
 		j.finished = now
 		j.err = "cancelled while queued"
 		j.mu.Unlock()
+		j.flight.Record("finish", "cancelled while queued")
 		close(j.done)
 		return true
 	}
 	cancel := j.cancelRun
 	j.mu.Unlock()
+	j.flight.Record("cancel_requested", "cancelling the running engine")
 	if cancel != nil {
 		cancel()
 	}

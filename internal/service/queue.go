@@ -6,7 +6,10 @@ import "sync"
 // rather than a channel so that cancelling a queued job frees its slot
 // immediately — with a buffered channel the slot would stay occupied
 // until a worker drained the tombstone, and admission control would
-// reject submissions the server actually has room for.
+// reject submissions the server actually has room for. A failed push
+// is answered with 429 plus a Retry-After hint derived from the
+// observed p90 of the job run-time histogram (Server.retryAfter); an
+// empty histogram falls back to a 1s hint.
 type jobQueue struct {
 	mu     sync.Mutex
 	cond   *sync.Cond

@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"time"
 
 	"repro/internal/csim"
@@ -45,6 +46,33 @@ func execute(ctx context.Context, spec *JobSpec, cc *Compiled, ob *obs.Observer,
 	vs, err := buildVectors(spec, cc)
 	if err != nil {
 		return nil, err
+	}
+	// For the scheduler-planned grid, decide (and record) the K×W
+	// verdict before the cancellation check below: a job that times out
+	// before its engine starts still carries the decision in its
+	// postmortem. Explain is pure, so the pinned plan used later is the
+	// exact plan SimulateAuto would have chosen.
+	var autoPlan *parallel.Plan
+	if spec.Engine == "csim-grid" && spec.Workers <= 0 && spec.Windows <= 0 {
+		sh := parallel.JobShape{
+			Gates:    len(cc.Circuit.Gates),
+			Faults:   u.NumFaults(),
+			Vectors:  vs.Len(),
+			MaxProcs: workersDefault,
+		}
+		plan, why := parallel.Explain(sh)
+		autoPlan = &plan
+		ob.Recorder().Recordf("decide", "plan %s (%s)", plan, why)
+		ob.Logger().Info("sched decide",
+			slog.String("phase", "decide"),
+			slog.Int("fault_shards", plan.FaultShards),
+			slog.Int("windows", plan.Windows),
+			slog.String("why", why))
+		if reg := ob.Registry(); reg != nil {
+			reg.Gauge("sched.fault_shards").Set(int64(plan.FaultShards))
+			reg.Gauge("sched.windows").Set(int64(plan.Windows))
+			reg.Gauge("sched.max_procs").Set(int64(sh.MaxProcs))
+		}
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -112,16 +140,18 @@ func execute(ctx context.Context, spec *JobSpec, cc *Compiled, ob *obs.Observer,
 			return nil, err
 		}
 		var st csim.Stats
-		if spec.Workers <= 0 && spec.Windows <= 0 {
-			// Neither axis pinned: the unified scheduler plans the shape
-			// within the server's worker budget.
-			var plan parallel.Plan
-			res, st, plan, err = parallel.SimulateAuto(u, vs, parallel.AutoOptions{
-				MaxProcs: workersDefault, Config: cfg, Obs: ob})
+		if autoPlan != nil {
+			// Neither axis pinned: run the shape the scheduler chose (and
+			// recorded) above. SimulateGrid with the pinned plan is what
+			// SimulateAuto would have run.
+			res, st, err = parallel.SimulateGrid(u, vs, parallel.GridOptions{
+				FaultShards: autoPlan.FaultShards, Windows: autoPlan.Windows,
+				Config: cfg, Obs: ob,
+			})
 			if err != nil {
 				return nil, err
 			}
-			rv.Workers, rv.Windows = plan.FaultShards, plan.Windows
+			rv.Workers, rv.Windows = autoPlan.FaultShards, autoPlan.Windows
 		} else {
 			opt := parallel.GridOptions{
 				FaultShards: spec.Workers, Windows: spec.Windows,

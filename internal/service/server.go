@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"runtime"
@@ -47,6 +48,17 @@ type Config struct {
 	// Obs is the observability bundle. Nil runs with a fresh registry
 	// (metrics always on — the service serves them) and no tracer.
 	Obs *obs.Observer
+	// Log is the structured logger; nil disables service logging at the
+	// zero-cost nil fast path.
+	Log *obs.Logger
+	// FlightEvents bounds each job's flight-recorder ring (default
+	// obs.DefaultFlightEvents = 256).
+	FlightEvents int
+	// SLOTarget is the default per-engine run-latency objective the
+	// burn-rate gauges measure against (default 5s).
+	SLOTarget time.Duration
+	// SLOByEngine overrides SLOTarget for individual engines.
+	SLOByEngine map[string]time.Duration
 }
 
 // withDefaults fills the zero fields.
@@ -84,6 +96,16 @@ func (c Config) withDefaults() Config {
 	if c.Obs.Metrics == nil {
 		c.Obs.Metrics = obs.NewRegistry()
 	}
+	if c.Log == nil {
+		// A logger attached to the Observer bundle works too.
+		c.Log = c.Obs.Log
+	}
+	if c.FlightEvents <= 0 {
+		c.FlightEvents = obs.DefaultFlightEvents
+	}
+	if c.SLOTarget <= 0 {
+		c.SLOTarget = 5 * time.Second
+	}
 	return c
 }
 
@@ -94,6 +116,8 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg   Config
 	ob    *obs.Observer
+	log   *obs.Logger
+	slo   *sloTracker
 	cache *Cache
 	q     *jobQueue
 
@@ -110,10 +134,6 @@ type Server struct {
 	workerWG      sync.WaitGroup
 	httpSrv       *http.Server
 	ln            net.Listener
-
-	// lastRunNS is a decaying estimate of recent job run time, feeding
-	// the Retry-After hint on 429.
-	lastRunNS atomic.Int64
 
 	mQueueDepth *obs.Gauge
 	mInflight   *obs.Gauge
@@ -138,6 +158,8 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:   cfg,
 		ob:    cfg.Obs,
+		log:   cfg.Log,
+		slo:   newSLOTracker(reg, cfg.SLOTarget, cfg.SLOByEngine),
 		cache: NewCache(cfg.CacheSize, reg),
 		q:     newJobQueue(cfg.QueueDepth),
 		jobs:  map[string]*job{},
@@ -217,6 +239,9 @@ func (s *Server) Handler() http.Handler {
 func (s *Server) Drain(ctx context.Context) error {
 	s.draining.Store(true)
 	s.q.close()
+	s.log.Info("server draining",
+		slog.String("phase", "drain"),
+		slog.Int("queued", s.q.depth()))
 
 	done := make(chan struct{})
 	go func() { s.workerWG.Wait(); close(done) }()
@@ -225,12 +250,15 @@ func (s *Server) Drain(ctx context.Context) error {
 	case <-done:
 	case <-ctx.Done():
 		err = ctx.Err()
+		s.log.Warn("drain grace period expired, cancelling outstanding jobs",
+			slog.String("phase", "drain"))
 		s.cancelOutstanding()
 		s.cancelWorkers()
 		<-done
 	}
 	s.shutdownHTTP()
 	s.stopped.Store(true)
+	s.log.Info("server drained", slog.String("phase", "drain"))
 	return err
 }
 
@@ -302,7 +330,9 @@ func (s *Server) runJob(ctx context.Context, slot int, j *job) {
 			timeout = s.cfg.MaxTimeout
 		}
 	}
-	jctx, cancel := context.WithTimeout(ctx, timeout)
+	// The correlation ID rides the job context so anything downstream
+	// (engine logs, a future coordinator fan-out) can recover it.
+	jctx, cancel := context.WithTimeout(obs.WithJobID(ctx, j.id), timeout)
 	defer cancel()
 	if !j.setRunning(now, cancel) {
 		// Cancelled while queued and already finished; nothing to run.
@@ -312,39 +342,91 @@ func (s *Server) runJob(ctx context.Context, slot int, j *job) {
 	s.mInflight.Add(1)
 	defer s.mInflight.Add(-1)
 
+	jlog := s.log.With(
+		slog.String("job_id", j.id),
+		slog.String("engine", j.spec.Engine),
+		slog.String("circuit", circuitLabel(&j.spec)))
+	j.flight.Recordf("run_start", "worker slot %d picked the job up after %s queued",
+		slot, now.Sub(j.submitted).Round(time.Microsecond))
+	jlog.Info("job running",
+		slog.String("phase", "run"),
+		slog.Int("worker_slot", slot),
+		slog.Duration("queued_for", now.Sub(j.submitted)))
+
 	// The submit handler compiled the circuit at admission and pinned it
 	// on the job, so cache eviction between admission and execution can't
 	// fail the run.
 	cc := j.cc
 
 	// One engine-metrics namespace and one trace lane per worker slot:
-	// bounded registry growth no matter how many jobs run.
+	// bounded registry growth no matter how many jobs run. The logger and
+	// flight recorder are per-job, so engine shard events correlate.
 	prefix := fmt.Sprintf("serve.worker%d.", slot)
-	engineOb := s.ob
+	engineOb := &obs.Observer{
+		Metrics: s.ob.Metrics,
+		Tracer:  s.ob.Tracer,
+		Faults:  s.ob.Faults,
+		Log:     jlog,
+		Flight:  j.flight,
+	}
 	if j.spec.Engine == "csim-P" {
 		// csim-P publishes under its own fixed worker prefixes, which
-		// concurrent jobs would trample; give it the tracer only.
-		engineOb = &obs.Observer{Tracer: s.ob.Tracer}
+		// concurrent jobs would trample; keep its registry (and the
+		// fault log, as before) off — tracer, logger and flight stay.
+		engineOb.Metrics = nil
+		engineOb.Faults = nil
 	}
 	sp := s.ob.SpanTID(fmt.Sprintf("%s/%s/%s", j.id, j.spec.Engine, circuitLabel(&j.spec)), slot+1)
 	rv, err := execute(jctx, &j.spec, cc, engineOb, prefix, s.cfg.EngineWorkers)
 	sp.End()
 
 	finished := time.Now()
-	s.hRunNS.Observe(finished.Sub(now).Nanoseconds())
+	runNS := finished.Sub(now).Nanoseconds()
+	s.hRunNS.Observe(runNS)
 	s.hTotalNS.Observe(finished.Sub(j.submitted).Nanoseconds())
+	s.slo.observe(j.spec.Engine, runNS)
 	switch {
 	case err == nil:
 		rv.CacheHit = j.cacheHit
-		s.lastRunNS.Store(rv.RunNS)
+		j.flight.Recordf("finish", "done: %d/%d detected in %s",
+			rv.Detected, rv.Faults, time.Duration(rv.RunNS).Round(time.Microsecond))
 		s.finishJob(j, StatusDone, rv, "")
+		jlog.Info("job done",
+			slog.String("phase", "finish"),
+			slog.Int("detected", rv.Detected),
+			slog.Int("faults", rv.Faults),
+			slog.Int64("run_ns", rv.RunNS),
+			slog.Bool("cache_hit", rv.CacheHit))
 	case errors.Is(err, context.Canceled):
+		j.flight.Record("finish", "cancelled while running")
 		s.finishJob(j, StatusCancelled, nil, "cancelled while running")
+		s.dumpPostmortem(jlog, j)
 	case errors.Is(err, context.DeadlineExceeded):
+		j.flight.Recordf("finish", "timeout after %s", timeout)
 		s.finishJob(j, StatusFailed, nil, fmt.Sprintf("timeout after %s", timeout))
+		s.dumpPostmortem(jlog, j)
 	default:
+		j.flight.Recordf("finish", "failed: %v", err)
 		s.finishJob(j, StatusFailed, nil, err.Error())
+		s.dumpPostmortem(jlog, j)
 	}
+}
+
+// dumpPostmortem logs a failed/timed-out/cancelled job's flight
+// recorder as one structured record — the same payload GET
+// /api/v1/jobs/{id}/debug serves, pushed into the log stream so the
+// evidence survives job retention eviction.
+func (s *Server) dumpPostmortem(jlog *obs.Logger, j *job) {
+	if jlog == nil {
+		return
+	}
+	pm := j.postmortem()
+	jlog.Error("job postmortem",
+		slog.String("phase", "postmortem"),
+		slog.String("status", string(pm.Status)),
+		slog.String("error", pm.Error),
+		slog.Int64("dropped_events", pm.DroppedEvents),
+		slog.Any("events", pm.Events))
 }
 
 // finishJob records the terminal state, bumps the status counters, and
@@ -448,14 +530,49 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Correlation ID: accept one from the X-Csim-Job-Id header (a
+	// coordinator fanning a job out names it once), else mint "j<seq>".
+	// The admitted ID is echoed back in the same header and in the body.
+	reqID := strings.TrimSpace(r.Header.Get(JobIDHeader))
+	if reqID != "" && !validJobID(reqID) {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("invalid %s %q: want 1-128 chars, alphanumeric then [alnum._-]", JobIDHeader, reqID), nil)
+		return
+	}
 	s.mu.Lock()
-	s.seq++
-	id := fmt.Sprintf("j%d", s.seq)
+	id := reqID
+	if id != "" {
+		if _, exists := s.jobs[id]; exists {
+			s.mu.Unlock()
+			writeError(w, http.StatusConflict,
+				fmt.Sprintf("job %q already exists", id), nil)
+			return
+		}
+	} else {
+		// Client-supplied IDs may collide with the "j<seq>" spelling, so
+		// minting skips over taken names.
+		for {
+			s.seq++
+			id = fmt.Sprintf("j%d", s.seq)
+			if _, exists := s.jobs[id]; !exists {
+				break
+			}
+		}
+	}
 	j := newJob(id, spec, time.Now())
 	j.cc, j.cacheHit = cc, hit
+	j.flight = obs.NewFlightRecorder(s.cfg.FlightEvents)
 	s.jobs[id] = j
 	s.mu.Unlock()
 
+	cacheVerdict := "miss"
+	if hit {
+		cacheVerdict = "hit"
+	}
+	j.flight.Recordf("admitted", "engine %s, circuit %s, model %s", spec.Engine, circuitLabel(&spec), spec.Model)
+	j.flight.Recordf("cache", "compiled-circuit cache %s for %s", cacheVerdict, circuitLabel(&spec))
+
+	w.Header().Set(JobIDHeader, id)
 	if !s.q.push(j) {
 		s.mu.Lock()
 		delete(s.jobs, id)
@@ -463,24 +580,42 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.mRejected.Inc()
 		retry := s.retryAfter()
 		w.Header().Set("Retry-After", fmt.Sprintf("%d", retry))
+		s.log.Warn("job rejected",
+			slog.String("job_id", id),
+			slog.String("phase", "admit"),
+			slog.String("engine", spec.Engine),
+			slog.Int("queue_depth", s.q.depth()),
+			slog.Int("retry_after_s", retry))
 		writeError(w, http.StatusTooManyRequests,
 			fmt.Sprintf("queue full (%d queued); retry after %ds", s.q.depth(), retry), nil)
 		return
 	}
 	s.mSubmitted.Inc()
 	s.mQueueDepth.Set(int64(s.q.depth()))
+	j.flight.Recordf("queued", "position at enqueue %d", s.q.depth())
+	s.log.Info("job admitted",
+		slog.String("job_id", id),
+		slog.String("phase", "admit"),
+		slog.String("engine", spec.Engine),
+		slog.String("circuit", circuitLabel(&spec)),
+		slog.String("model", spec.Model),
+		slog.Bool("cache_hit", hit))
 	writeJSON(w, http.StatusAccepted, j.view())
 }
 
-// retryAfter estimates, in whole seconds (>= 1), when a queue slot
-// should free up: one queue's worth of the most recent job run time
-// spread over the worker pool.
+// retryAfter estimates, in whole seconds (>= 1, capped at 60), when a
+// queue slot should free up: one queue's worth of the observed p90 job
+// run time spread over the worker pool. Before any job has completed
+// the histogram is empty and the estimate falls back to 1s.
 func (s *Server) retryAfter() int {
-	run := s.lastRunNS.Load()
-	if run <= 0 {
+	if s.hRunNS.Count() == 0 {
 		return 1
 	}
-	est := time.Duration(run) * time.Duration(s.cfg.QueueDepth) / time.Duration(s.cfg.Workers) / 4
+	p90 := s.hRunNS.Quantile(0.90)
+	if p90 <= 0 {
+		return 1
+	}
+	est := time.Duration(p90) * time.Duration(s.cfg.QueueDepth) / time.Duration(s.cfg.Workers) / 4
 	secs := int(est / time.Second)
 	if secs < 1 {
 		secs = 1
@@ -520,10 +655,12 @@ func jobIDLess(a, b string) bool {
 }
 
 // handleJob serves GET (status) and DELETE (cancel) on
-// /api/v1/jobs/<id>.
+// /api/v1/jobs/<id>, and GET /api/v1/jobs/<id>/debug (the
+// flight-recorder postmortem).
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
-	id := strings.TrimPrefix(r.URL.Path, "/api/v1/jobs/")
-	if id == "" || strings.Contains(id, "/") {
+	rest := strings.TrimPrefix(r.URL.Path, "/api/v1/jobs/")
+	id, sub, _ := strings.Cut(rest, "/")
+	if id == "" || (sub != "" && sub != "debug") {
 		writeError(w, http.StatusNotFound, "no such job", nil)
 		return
 	}
@@ -532,6 +669,15 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("no such job %q", id), nil)
+		return
+	}
+	w.Header().Set(JobIDHeader, id)
+	if sub == "debug" {
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, "use GET for the postmortem", nil)
+			return
+		}
+		writeJSON(w, http.StatusOK, j.postmortem())
 		return
 	}
 	switch r.Method {
@@ -549,6 +695,10 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 // cancelled; a running job gets its context cancelled and reports
 // cancelled when the engine notices.
 func (s *Server) cancelJob(w http.ResponseWriter, j *job) {
+	s.log.Info("job cancel requested",
+		slog.String("job_id", j.id),
+		slog.String("phase", "cancel"),
+		slog.String("engine", j.spec.Engine))
 	if s.q.remove(j.id) {
 		j.requestCancel(time.Now())
 		s.mCancelled.Inc()

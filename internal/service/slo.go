@@ -1,0 +1,70 @@
+package service
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// sloTracker maintains the per-engine run-latency objectives and their
+// burn-rate gauges. Each engine that has run at least one job gets:
+//
+//	serve.engine.<engine>.job_run_ns      histogram of its run times
+//	serve.slo.<engine>.objective_ns       the configured objective
+//	serve.slo.<engine>.p90_ns             observed p90 run latency
+//	serve.slo.<engine>.burn_rate_milli    1000 * p90 / objective
+//
+// burn_rate_milli is the error-budget burn in milli-units: 1000 means
+// the p90 sits exactly at the objective, above 1000 the engine is
+// burning budget, well below it the objective has slack. The p90 comes
+// from obs.Histogram.Quantile over the engine's own histogram — the
+// same quantile code the load harness reports with.
+type sloTracker struct {
+	reg       *obs.Registry
+	objective time.Duration
+	byEngine  map[string]time.Duration
+
+	mu    sync.Mutex
+	hists map[string]*obs.Histogram
+}
+
+// newSLOTracker wires the tracker to the registry. objective is the
+// default per-engine target; overrides (keyed by engine name) take
+// precedence.
+func newSLOTracker(reg *obs.Registry, objective time.Duration, overrides map[string]time.Duration) *sloTracker {
+	return &sloTracker{
+		reg:       reg,
+		objective: objective,
+		byEngine:  overrides,
+		hists:     map[string]*obs.Histogram{},
+	}
+}
+
+// objectiveFor resolves the engine's latency objective.
+func (t *sloTracker) objectiveFor(engine string) time.Duration {
+	if d, ok := t.byEngine[engine]; ok && d > 0 {
+		return d
+	}
+	return t.objective
+}
+
+// observe records one job's run time for its engine and refreshes the
+// engine's SLO gauges.
+func (t *sloTracker) observe(engine string, runNS int64) {
+	t.mu.Lock()
+	h, ok := t.hists[engine]
+	if !ok {
+		h = t.reg.Histogram("serve.engine."+engine+".job_run_ns", latencyBuckets)
+		t.hists[engine] = h
+	}
+	t.mu.Unlock()
+	h.Observe(runNS)
+	obj := t.objectiveFor(engine)
+	p90 := h.Quantile(0.90)
+	t.reg.Gauge("serve.slo." + engine + ".objective_ns").Set(obj.Nanoseconds())
+	t.reg.Gauge("serve.slo." + engine + ".p90_ns").Set(int64(p90))
+	if obj > 0 {
+		t.reg.Gauge("serve.slo." + engine + ".burn_rate_milli").Set(int64(1000 * p90 / float64(obj.Nanoseconds())))
+	}
+}
