@@ -3,11 +3,18 @@
 //
 // Standalone multichecker:
 //
-//	simlint [-analyzers=hotpathalloc,maprange] ./...
+//	simlint [-analyzers=hotpathalloc,maprange] [-json] ./...
 //
 // loads packages from source via the go tool, runs the selected
-// analyzers (all by default) and prints diagnostics. Exit status is 2
-// if any diagnostic fired, 1 on a loading/analysis error, 0 otherwise.
+// analyzers (all by default) and prints diagnostics. //simlint:ignore
+// directives are honored: suppressed diagnostics don't fail the run but
+// are counted (and, with -json, emitted with their suppression reason),
+// while malformed or unused directives are failures in their own right.
+// -json replaces the human output with one sorted array of diagnostic
+// objects — analyzer, position, message, suppression state — for CI
+// artifacts. Exit status is 2 if any active diagnostic, malformed
+// directive or unused suppression remains, 1 on a loading/analysis
+// error, 0 otherwise.
 //
 // Vet tool (unitchecker protocol):
 //
@@ -30,6 +37,7 @@ import (
 	"go/types"
 	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"repro/internal/lint"
@@ -41,7 +49,7 @@ func main() {
 		switch os.Args[1] {
 		case "-V=full":
 			// The version string participates in go's build cache key.
-			fmt.Printf("%s version simlint-1.0\n", os.Args[0])
+			fmt.Printf("%s version simlint-1.1\n", os.Args[0])
 			return
 		case "-flags":
 			printVetFlags()
@@ -124,6 +132,7 @@ func standalone() int {
 	fs := flag.NewFlagSet("simlint", flag.ExitOnError)
 	list := fs.String("analyzers", "", "comma-separated analyzer `names` to run (default: all)")
 	dir := fs.String("C", ".", "change to `dir` before loading packages")
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array (includes suppressed ones)")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: simlint [flags] [packages]\n\nAnalyzers:\n")
 		for _, a := range lint.All() {
@@ -155,17 +164,98 @@ func standalone() int {
 	if err != nil {
 		fatal(err)
 	}
-	diags, err := lint.Run(pkgs, analyzers)
+	r, err := lint.RunAll(pkgs, analyzers)
 	if err != nil {
 		fatal(err)
 	}
-	for _, d := range diags {
-		fmt.Fprintln(os.Stderr, d)
+	if *jsonOut {
+		if err := writeJSONReport(os.Stdout, r); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range r.Diags {
+			fmt.Fprintln(os.Stderr, d)
+		}
+		for _, d := range r.Malformed {
+			fmt.Fprintln(os.Stderr, d)
+		}
+		for _, s := range r.Unused {
+			fmt.Fprintf(os.Stderr, "%s: unused suppression: no %s diagnostic on this or the next line\n", s.Pos, s.Analyzer)
+		}
+		if n := len(r.Suppressed); n > 0 {
+			fmt.Fprintf(os.Stderr, "simlint: %d diagnostic(s) suppressed by //simlint:ignore\n", n)
+		}
 	}
-	if len(diags) > 0 {
+	if r.Failed() {
 		return 2
 	}
 	return 0
+}
+
+// jsonDiagnostic is one entry of the -json report: active, suppressed
+// and malformed diagnostics share the shape, and unused suppressions
+// are folded in under the pseudo-analyzer "simlint" so a consumer sees
+// every failure in one sorted list.
+type jsonDiagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+	// Suppressed diagnostics carry the directive's reason and do not
+	// fail the run.
+	Suppressed bool   `json:"suppressed,omitempty"`
+	Reason     string `json:"reason,omitempty"`
+}
+
+// writeJSONReport emits the full report as one position-sorted array.
+func writeJSONReport(w io.Writer, r *lint.Report) error {
+	out := []jsonDiagnostic{}
+	add := func(d lint.Diagnostic) {
+		out = append(out, jsonDiagnostic{
+			Analyzer:   d.Analyzer,
+			File:       d.Pos.Filename,
+			Line:       d.Pos.Line,
+			Col:        d.Pos.Column,
+			Message:    d.Message,
+			Suppressed: d.Suppressed,
+			Reason:     d.SuppressReason,
+		})
+	}
+	for _, d := range r.Diags {
+		add(d)
+	}
+	for _, d := range r.Suppressed {
+		add(d)
+	}
+	for _, d := range r.Malformed {
+		add(d)
+	}
+	for _, s := range r.Unused {
+		out = append(out, jsonDiagnostic{
+			Analyzer: "simlint",
+			File:     s.Pos.Filename,
+			Line:     s.Pos.Line,
+			Col:      s.Pos.Column,
+			Message:  fmt.Sprintf("unused suppression: no %s diagnostic on this or the next line", s.Analyzer),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	return enc.Encode(out)
 }
 
 // ---- go vet -vettool (unitchecker) mode ----
@@ -219,10 +309,33 @@ func unitcheck(cfgPath string) int {
 		}
 		fatal(err)
 	}
-	diags, err := lint.Run([]*lint.Package{pkg}, selected(sel))
+	analyzers := selected(sel)
+	r, err := lint.RunAll([]*lint.Package{pkg}, analyzers)
 	if err != nil {
 		fatal(err)
 	}
+	diags := append(r.Diags, r.Malformed...)
+	// An unused suppression is only provably stale when every analyzer it
+	// could have silenced actually ran.
+	if len(analyzers) == len(lint.All()) {
+		for _, s := range r.Unused {
+			diags = append(diags, lint.Diagnostic{
+				Analyzer: "simlint",
+				Pos:      s.Pos,
+				Message:  fmt.Sprintf("unused suppression: no %s diagnostic on this or the next line", s.Analyzer),
+			})
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
 	if *jsonOut {
 		printJSON(cfg.ImportPath, diags)
 		return 0 // JSON consumers read the payload, not the exit status

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// TestWriteJSONReport pins the -json artifact shape: one sorted array
+// mixing active, suppressed and malformed diagnostics plus unused
+// suppressions, each entry carrying analyzer, position, message and
+// suppression state.
+func TestWriteJSONReport(t *testing.T) {
+	r := &lint.Report{
+		Diags: []lint.Diagnostic{{
+			Analyzer: "guardedby",
+			Pos:      token.Position{Filename: "b.go", Line: 7, Column: 2},
+			Message:  "access to q.items without holding q.mu",
+		}},
+		Suppressed: []lint.Diagnostic{{
+			Analyzer:       "goroutinelife",
+			Pos:            token.Position{Filename: "a.go", Line: 12, Column: 3},
+			Message:        "leak-shaped spawn",
+			Suppressed:     true,
+			SuppressReason: "pump bounded by listener",
+		}},
+		Malformed: []lint.Diagnostic{{
+			Analyzer: "simlint",
+			Pos:      token.Position{Filename: "a.go", Line: 30, Column: 1},
+			Message:  "malformed //simlint:ignore maprange: a reason is mandatory",
+		}},
+	}
+	var buf bytes.Buffer
+	if err := writeJSONReport(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	var got []jsonDiagnostic
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %d entries, want 3: %s", len(got), buf.String())
+	}
+	// Position-sorted: a.go:12 before a.go:30 before b.go:7.
+	if got[0].File != "a.go" || got[0].Line != 12 || got[1].Line != 30 || got[2].File != "b.go" {
+		t.Errorf("entries not position-sorted: %s", buf.String())
+	}
+	sup := got[0]
+	if sup.Analyzer != "goroutinelife" || !sup.Suppressed || sup.Reason != "pump bounded by listener" {
+		t.Errorf("suppressed entry lost its state: %+v", sup)
+	}
+	if act := got[2]; act.Suppressed || act.Reason != "" || act.Col != 2 {
+		t.Errorf("active entry carries wrong state: %+v", act)
+	}
+	if got[1].Analyzer != "simlint" {
+		t.Errorf("malformed entry analyzer = %q, want simlint", got[1].Analyzer)
+	}
+}
+
+// TestWriteJSONReportEmpty: a clean run is an empty array, not null —
+// consumers can range over it unconditionally.
+func TestWriteJSONReportEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeJSONReport(&buf, &lint.Report{}); err != nil {
+		t.Fatal(err)
+	}
+	var got []jsonDiagnostic
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || len(got) != 0 {
+		t.Fatalf("want [], got %s", buf.String())
+	}
+}

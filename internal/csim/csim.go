@@ -62,7 +62,10 @@ type Config struct {
 	// same netlist. The plan must cover the universe's circuit and must
 	// have been extracted with settings matching Macros /
 	// ReconvergentMacros / MacroMaxInputs; the circuit identity is
-	// checked, the settings are the caller's contract.
+	// checked, the settings are the caller's contract. macro.Plan and
+	// its Macros are //simlint:immutable — the immutableplan analyzer
+	// proves no store to them is reachable after extraction returns, so
+	// sharing one Plan across jobs is race-free by construction.
 	Plan *macro.Plan
 	// Trace, when non-nil, receives divergence/convergence/detection
 	// events (used by the Figure 1 walkthrough example).

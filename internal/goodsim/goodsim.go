@@ -183,6 +183,8 @@ func Run(c *netlist.Circuit, vecs [][]logic.V) [][]logic.V {
 // re-deriving the good machine, so one goodsim run serves any number of
 // fault partitions. A Trace is immutable after Record and safe for
 // concurrent readers.
+//
+//simlint:immutable
 type Trace struct {
 	numGates int
 	cycles   int

@@ -35,6 +35,18 @@ func TestExportDoc(t *testing.T) {
 	linttest.Run(t, lint.ExportDoc, "testdata/src/exportdoc")
 }
 
+func TestImmutablePlan(t *testing.T) {
+	linttest.Run(t, lint.ImmutablePlan, "testdata/src/immutableplan")
+}
+
+func TestGuardedBy(t *testing.T) {
+	linttest.Run(t, lint.GuardedBy, "testdata/src/guardedby")
+}
+
+func TestGoroutineLife(t *testing.T) {
+	linttest.Run(t, lint.GoroutineLife, "testdata/src/goroutinelife")
+}
+
 func TestByName(t *testing.T) {
 	for _, a := range lint.All() {
 		got, ok := lint.ByName(a.Name)

@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression is one //simlint:ignore directive: it silences a single
+// analyzer on the line it sits on (trailing comment) or the line
+// directly below it (comment-above form). The reason string is
+// mandatory — a suppression is a documented debt, not a mute button —
+// and a suppression that silences nothing is itself reported, so stale
+// ignores cannot accumulate.
+type Suppression struct {
+	// Pos is the directive's position.
+	Pos token.Position
+	// Analyzer names the single analyzer being silenced.
+	Analyzer string
+	// Reason is the mandatory justification text.
+	Reason string
+
+	used bool
+}
+
+// Used reports whether the suppression matched at least one diagnostic.
+func (s *Suppression) Used() bool { return s.used }
+
+// String renders the directive for error messages.
+func (s *Suppression) String() string {
+	return fmt.Sprintf("%s: //simlint:ignore %s %s", s.Pos, s.Analyzer, s.Reason)
+}
+
+// collectSuppressions scans a package's comments for ignore directives.
+// Malformed directives (missing reason, unknown analyzer) come back as
+// diagnostics under the pseudo-analyzer name "simlint" so the driver
+// treats them as failures rather than silently honoring — or silently
+// dropping — them.
+func collectSuppressions(fset *token.FileSet, files []*ast.File) (sups []*Suppression, malformed []Diagnostic) {
+	bad := func(pos token.Pos, format string, args ...any) {
+		malformed = append(malformed, Diagnostic{
+			Analyzer: "simlint",
+			Pos:      fset.Position(pos),
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue // block comments cannot carry directives
+				}
+				rest, ok := strings.CutPrefix(text, MarkerIgnore)
+				if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					bad(c.Pos(), "malformed //simlint:ignore: missing analyzer name")
+					continue
+				}
+				name := fields[0]
+				if _, known := ByName(name); !known {
+					bad(c.Pos(), "malformed //simlint:ignore: unknown analyzer %q", name)
+					continue
+				}
+				reason := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), name))
+				if reason == "" {
+					bad(c.Pos(), "malformed //simlint:ignore %s: a reason is mandatory", name)
+					continue
+				}
+				sups = append(sups, &Suppression{
+					Pos:      fset.Position(c.Pos()),
+					Analyzer: name,
+					Reason:   reason,
+				})
+			}
+		}
+	}
+	return sups, malformed
+}
+
+// applySuppressions partitions diags into kept and suppressed, marking
+// each matching suppression used. A suppression matches a diagnostic of
+// its analyzer in the same file on its own line or the line below.
+func applySuppressions(diags []Diagnostic, sups []*Suppression) (kept, suppressed []Diagnostic) {
+	for _, d := range diags {
+		match := (*Suppression)(nil)
+		for _, s := range sups {
+			if s.Analyzer != d.Analyzer || s.Pos.Filename != d.Pos.Filename {
+				continue
+			}
+			if d.Pos.Line == s.Pos.Line || d.Pos.Line == s.Pos.Line+1 {
+				match = s
+				break
+			}
+		}
+		if match == nil {
+			kept = append(kept, d)
+			continue
+		}
+		match.used = true
+		d.Suppressed = true
+		d.SuppressReason = match.Reason
+		suppressed = append(suppressed, d)
+	}
+	return kept, suppressed
+}

@@ -1,0 +1,159 @@
+// Package guardedby is the fixture for the guardedby analyzer.
+package guardedby
+
+import "sync"
+
+type queue struct {
+	mu sync.Mutex
+	//simlint:guarded_by(mu)
+	items []int
+	cap   int
+}
+
+// --- intraprocedural: held tracking ---
+
+func (q *queue) pushOK(v int) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.items) >= q.cap {
+		return false
+	}
+	q.items = append(q.items, v)
+	return true
+}
+
+func (q *queue) explicitOK() {
+	q.mu.Lock()
+	q.items = nil
+	q.mu.Unlock()
+}
+
+func (q *queue) lenBad() int {
+	return len(q.items) // want `access to q.items without holding q.mu`
+}
+
+func (q *queue) afterUnlockBad() {
+	q.mu.Lock()
+	q.items = nil
+	q.mu.Unlock()
+	q.items = append(q.items, 1) // want `access to q.items without holding q.mu`
+}
+
+// branchBad only locks on one arm, so the merge point holds nothing.
+func (q *queue) branchBad(flush bool) {
+	if flush {
+		q.mu.Lock()
+	}
+	q.items = nil // want `access to q.items without holding q.mu`
+	if flush {
+		q.mu.Unlock()
+	}
+}
+
+func (q *queue) branchOK(n int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if n > 0 {
+		q.items = append(q.items, n)
+	} else {
+		q.items = nil
+	}
+	for i := range q.items {
+		q.items[i] = 0
+	}
+}
+
+// --- interprocedural: locked()-style helpers ---
+
+// dropLocked requires q.mu held by the caller; every caller does.
+func (q *queue) dropLocked() {
+	q.items = q.items[:0] // no diagnostic
+}
+
+func (q *queue) FlushOK() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.dropLocked()
+}
+
+// resetLocked has a caller that does not hold the lock.
+func (q *queue) resetLocked() {
+	q.items = nil // want `access to q.items without holding q.mu`
+}
+
+func (q *queue) ResetBad() {
+	q.resetLocked()
+}
+
+// The requirement propagates through two frames.
+func (q *queue) innerLocked() int {
+	return len(q.items) // no diagnostic
+}
+
+func (q *queue) midLocked() int { return q.innerLocked() }
+
+func (q *queue) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.midLocked()
+}
+
+// Exported functions end propagation: external callers are invisible.
+func (q *queue) Exposed() int {
+	return len(q.items) // want `access to q.items without holding q.mu`
+}
+
+// A free function with the guarded struct as parameter propagates too.
+func fillLocked(q *queue, v int) {
+	q.items = append(q.items, v) // no diagnostic
+}
+
+func FillOK(q *queue) {
+	q.mu.Lock()
+	fillLocked(q, 1)
+	q.mu.Unlock()
+}
+
+// --- literals and goroutines ---
+
+// A literal inherits the held set at its creation point.
+func (q *queue) litOK() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	func() { q.items = append(q.items, 0) }()
+}
+
+// A goroutine body starts with nothing held, whatever the spawner holds.
+func (q *queue) spawnBad() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	go func() {
+		q.items = nil // want `access to q.items without holding q.mu`
+	}()
+}
+
+// --- RWMutex ---
+
+type stats struct {
+	mu sync.RWMutex
+	//simlint:guarded_by(mu)
+	counts map[string]int
+}
+
+func (s *stats) GetOK(k string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.counts[k]
+}
+
+// --- malformed annotations ---
+
+type badAnnot struct {
+	n int
+	//simlint:guarded_by(lock)
+	data int // want `no sibling field named lock`
+	//simlint:guarded_by(n)
+	data2 int // want `n is not a sync.Mutex or sync.RWMutex`
+	//simlint:guarded_by
+	data3 int // want `requires the sibling mutex field name`
+}

@@ -1,0 +1,101 @@
+// Package immutableplan is the fixture for the immutableplan analyzer.
+package immutableplan
+
+// Sub is reachable from Plan but deliberately unmarked: stores to it
+// through a Plan must still be caught by peeling the selector chain.
+type Sub struct{ X int }
+
+//simlint:immutable
+type Plan struct {
+	Steps []int
+	Sub   *Sub
+	memo  map[int]int
+}
+
+// New is a constructor: its result type is the marked type, so every
+// store inside it — and inside helpers only it calls — is construction.
+func New(n int) *Plan {
+	p := &Plan{memo: map[int]int{}, Sub: &Sub{}}
+	for i := 0; i < n; i++ {
+		p.Steps = append(p.Steps, i) // no diagnostic: builder
+	}
+	p.finish()
+	return p
+}
+
+// finish is reachable only from New, so it is inside the construction
+// closure even though its own signature returns nothing.
+func (p *Plan) finish() {
+	p.memo[0] = 1 // no diagnostic: only a builder reaches here
+}
+
+// Eval reads through an unexported helper; the helper's lazy-memo write
+// is the bug, reported with the path from the publication entry.
+func (p *Plan) Eval(x int) int {
+	return p.memoize(x)
+}
+
+func (p *Plan) memoize(x int) int {
+	if v, ok := p.memo[x]; ok {
+		return v
+	}
+	v := x * 2
+	p.memo[x] = v // want `store to \(immutableplan\.Plan\)\.memo after construction \(path: \(\*Plan\)\.Eval → \(\*Plan\)\.memoize\)`
+	return v
+}
+
+// Reset mutates the published value directly in an exported method.
+func (p *Plan) Reset() {
+	p.Steps = nil // want `store to \(immutableplan\.Plan\)\.Steps after construction`
+	clear(p.memo) // want `store to \(immutableplan\.Plan\)\.memo after construction`
+}
+
+// Bump stores through an index expression; the chain still roots in the
+// marked type.
+func (p *Plan) Bump() {
+	p.Steps[0]++ // want `store to \(immutableplan\.Plan\)\.Steps after construction`
+}
+
+// Pierce stores into an unmarked struct held by the marked one.
+func (p *Plan) Pierce() {
+	p.Sub.X = 9 // want `store to \(immutableplan\.Plan\)\.Sub after construction`
+}
+
+// Apply hides the store in a function literal; the containment edge
+// keeps it in the post-publication closure.
+func (p *Plan) Apply() {
+	f := func() {
+		p.memo[1] = 2 // want `store to \(immutableplan\.Plan\)\.memo after construction \(path: \(\*Plan\)\.Apply → func literal in \(\*Plan\)\.Apply\)`
+	}
+	f()
+}
+
+// orphan has no in-package caller, so it must be assumed to run after
+// publication.
+func orphan(p *Plan) {
+	p.memo[3] = 3 // want `store to \(immutableplan\.Plan\)\.memo after construction`
+}
+
+// Builder assembles a Plan across calls without ever returning it; the
+// marker admits it to the construction closure.
+type Builder struct{ p *Plan }
+
+//simlint:builder Plan
+func (b *Builder) Grow(step int) {
+	b.p.Steps = append(b.p.Steps, step) // no diagnostic: marked builder
+}
+
+// Build returns the marked type, so it is a builder by signature.
+func (b *Builder) Build() *Plan {
+	b.p.Steps = append(b.p.Steps, -1) // no diagnostic: builder
+	return b.p
+}
+
+// Summarize only reads; reads are always fine.
+func Summarize(p *Plan) int {
+	total := 0
+	for _, s := range p.Steps {
+		total += s
+	}
+	return total + p.Eval(1)
+}

@@ -1,0 +1,28 @@
+// pr5.go pins the shared-plan race this analyzer exists for: macro.Macro
+// used to memoize its per-fault stuck table lazily inside StuckTable, so
+// two jobs sharing one compiled plan raced on the map write (fixed by
+// moving the memo into the per-job Simulator). The original shape must
+// stay a diagnostic forever.
+package immutableplan
+
+//simlint:immutable
+type Macro struct {
+	Gates  []int
+	tables map[int][]byte
+}
+
+// Extract is the constructor (builder by signature).
+func Extract(n int) *Macro {
+	return &Macro{Gates: make([]int, n), tables: map[int][]byte{}}
+}
+
+// StuckTable is the PR 5 bug: a lazy memo write on the read path of a
+// value the compiled-circuit cache shares across concurrent jobs.
+func (m *Macro) StuckTable(f int) []byte {
+	if t, ok := m.tables[f]; ok {
+		return t
+	}
+	t := make([]byte, len(m.Gates))
+	m.tables[f] = t // want `store to \(immutableplan\.Macro\)\.tables after construction \(path: \(\*Macro\)\.StuckTable\)`
+	return t
+}

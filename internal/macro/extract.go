@@ -10,7 +10,11 @@ import (
 // Plan partitions a circuit's combinational network into macros. Sources
 // (PIs and DFFs) stay standalone. Every combinational gate belongs to
 // exactly one macro; its macro's root is the only gate the concurrent
-// simulator schedules and keeps fault lists for.
+// simulator schedules and keeps fault lists for. The compiled-circuit
+// cache hands one Plan to any number of concurrent jobs (csim.Config
+// carries it by pointer), so a Plan is frozen once extraction returns.
+//
+//simlint:immutable
 type Plan struct {
 	C *netlist.Circuit
 

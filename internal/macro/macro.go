@@ -41,6 +41,8 @@ type Instr struct {
 // tables ("each fault descriptor holds an adequate look up table entry")
 // memoize StuckTable results on their own side, as internal/csim does
 // per simulator instance.
+//
+//simlint:immutable
 type Macro struct {
 	Root   netlist.GateID
 	Leaves []netlist.GateID // external driver gates, deduplicated, in first-use order

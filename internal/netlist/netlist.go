@@ -22,7 +22,10 @@ const NoGate GateID = -1
 
 // Gate is one node of the circuit graph. INPUT gates have no fanin; DFF
 // gates have exactly one fanin (the D line) and act as level-0 sources for
-// combinational levelization.
+// combinational levelization. Gates live in the shared Circuit arena, so
+// they are as frozen as the Circuit that holds them.
+//
+//simlint:immutable
 type Gate struct {
 	Name   string
 	Op     logic.Op
@@ -39,6 +42,8 @@ func (g *Gate) IsSource() bool {
 
 // Circuit is an immutable levelized gate network. Construct one with a
 // Builder or the .bench parser.
+//
+//simlint:immutable
 type Circuit struct {
 	Name  string
 	Gates []Gate

@@ -32,10 +32,14 @@ type FlightEvent struct {
 // Recordf no-op (Recordf before formatting, so disabled call sites pay
 // no fmt cost), Events returns nil.
 type FlightRecorder struct {
-	mu      sync.Mutex
-	buf     []FlightEvent
-	next    int // write position once the ring is full
-	full    bool
+	mu sync.Mutex
+	//simlint:guarded_by(mu)
+	buf []FlightEvent
+	//simlint:guarded_by(mu)
+	next int // write position once the ring is full
+	//simlint:guarded_by(mu)
+	full bool
+	//simlint:guarded_by(mu)
 	dropped int64
 }
 

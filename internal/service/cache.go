@@ -29,9 +29,11 @@ type Compiled struct {
 	// Circuit is the parsed, netcheck-verified netlist.
 	Circuit *netlist.Circuit
 
-	mu        sync.Mutex
+	mu sync.Mutex
+	//simlint:guarded_by(mu)
 	universes map[string]*faults.Universe
-	plans     map[string]*macro.Plan
+	//simlint:guarded_by(mu)
+	plans map[string]*macro.Plan
 }
 
 // Universe returns the memoized fault universe for a model ("stuck",
@@ -129,10 +131,12 @@ type cacheEntry struct {
 // text, so resubmitting the same .bench body — byte for byte — hits
 // regardless of the client.
 type Cache struct {
-	mu      sync.Mutex
-	max     int
+	mu  sync.Mutex
+	max int
+	//simlint:guarded_by(mu)
 	entries map[string]*cacheEntry
-	ll      *list.List // front = most recently used
+	//simlint:guarded_by(mu)
+	ll *list.List // front = most recently used
 
 	hits      *obs.Counter
 	misses    *obs.Counter

@@ -11,10 +11,12 @@ import "sync"
 // observed p90 of the job run-time histogram (Server.retryAfter); an
 // empty histogram falls back to a 1s hint.
 type jobQueue struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	items  []*job
-	cap    int
+	mu   sync.Mutex
+	cond *sync.Cond
+	//simlint:guarded_by(mu)
+	items []*job
+	cap   int
+	//simlint:guarded_by(mu)
 	closed bool
 }
 

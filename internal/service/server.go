@@ -198,6 +198,7 @@ func (s *Server) Start() error {
 		}(i)
 	}
 	s.httpSrv = &http.Server{Handler: s.Handler()}
+	//simlint:ignore goroutinelife the accept pump's lifetime is the listener's; Stop closes it via httpSrv.Shutdown
 	go func() { _ = s.httpSrv.Serve(ln) }()
 	return nil
 }

@@ -25,7 +25,8 @@ type sloTracker struct {
 	objective time.Duration
 	byEngine  map[string]time.Duration
 
-	mu    sync.Mutex
+	mu sync.Mutex
+	//simlint:guarded_by(mu)
 	hists map[string]*obs.Histogram
 }
 
