@@ -12,8 +12,9 @@
 // engine (csim-P, sharded over -workers goroutines), the vector-partition
 // engine (csim-V2, speculation + repair over -shards windows), the 2-D
 // grid (csim-grid, fault shards × vector windows via -shards KxW, or
-// scheduler-planned with -shards auto), the PROOFS baseline, or the
-// serial oracle.
+// scheduler-planned with -shards auto), the compiled bit-parallel engine
+// (csim-C, alias "compiled": levelized straight-line code over packed
+// 64-vector words), the PROOFS baseline, or the serial oracle.
 //
 // Observability (see OBSERVABILITY.md): -metrics-out snapshots the metric
 // registry to JSON, -trace-out writes a chrome://tracing phase trace,
@@ -51,7 +52,7 @@ func main() {
 		vectorFile  = flag.String("vectors", "", "path to a test vector file")
 		randomN     = flag.Int("random", 0, "generate this many random vectors instead")
 		seed        = flag.Int64("seed", 1, "random vector seed")
-		engine      = flag.String("engine", "csim-MV", "csim | csim-V | csim-M | csim-MV | csim-P | csim-V2 | csim-grid | PROOFS | serial")
+		engine      = flag.String("engine", "csim-MV", "csim | csim-V | csim-M | csim-MV | csim-P | csim-V2 | csim-grid | csim-C (alias: compiled) | PROOFS | serial")
 		workers     = flag.Int("workers", runtime.NumCPU(), "csim-P fault-partition worker count")
 		shards      = flag.String("shards", "auto", "csim-V2 window count (N) or csim-grid shape (KxW fault shards x windows; 'auto' lets the scheduler pick)")
 		model       = flag.String("faults", "stuck", "fault model: stuck | stuck-all | transition")
@@ -176,10 +177,15 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+	case "compiled": // alias for csim-C
+		m, err = harness.RunObserved(harness.CsimC, u, vs, ob)
+		if err != nil {
+			fatal(err)
+		}
 	default:
 		switch eng := harness.Engine(*engine); eng {
 		case harness.CsimPlain, harness.CsimV, harness.CsimM, harness.CsimMV,
-			harness.CsimEager, harness.CsimReconv, harness.PROOFS:
+			harness.CsimEager, harness.CsimReconv, harness.CsimC, harness.PROOFS:
 			m, err = harness.RunObserved(eng, u, vs, ob)
 			if err != nil {
 				fatal(err)
@@ -363,7 +369,7 @@ func runCheck(c *netlist.Circuit, model string) error {
 var (
 	engineNames = []string{"csim", "csim-V", "csim-M", "csim-MV",
 		"csim-MV-eagerdrop", "csim-MV-reconvergent", "csim-P", "csim-V2",
-		"csim-grid", "PROOFS", "serial"}
+		"csim-grid", "csim-C", "compiled", "PROOFS", "serial"}
 	modelNames = []string{"stuck", "stuck-all", "transition"}
 )
 

@@ -29,11 +29,13 @@ import (
 	"log/slog"
 
 	"repro/internal/atpg"
+	"repro/internal/compiled"
 	"repro/internal/csim"
 	"repro/internal/faults"
 	"repro/internal/gen"
 	"repro/internal/goodsim"
 	"repro/internal/iscas"
+	"repro/internal/macro"
 	"repro/internal/netlist"
 	"repro/internal/obs"
 	"repro/internal/parallel"
@@ -93,6 +95,21 @@ type (
 	Proofs = proofs.Sim
 	// GoodSim is the fault-free reference simulator.
 	GoodSim = goodsim.Sim
+	// CompiledProgram is a circuit lowered once for the compiled
+	// bit-parallel engine (csim-C): branch-free levelized straight-line
+	// evaluation over flat word arrays. Immutable and shareable across
+	// concurrent simulators.
+	CompiledProgram = compiled.Program
+	// CompiledSim is the csim-C fault simulator: a packed good-machine
+	// trace plus per-fault bit-parallel cone re-evaluation, 64 vectors
+	// per pass.
+	CompiledSim = compiled.Sim
+	// CompiledGood is the compiled good machine: macro-inlined table
+	// lookups over the compiled program, no fault simulation.
+	CompiledGood = compiled.Good
+	// MacroPlan is a fanout-free-region macro-extraction plan over a
+	// circuit (Config.Plan, CompileCircuit).
+	MacroPlan = macro.Plan
 	// Vectors is an ordered test sequence.
 	Vectors = vectors.Set
 	// ATPGOptions tunes the deterministic test generator.
@@ -279,6 +296,47 @@ func NewProofs(u *Universe) (*Proofs, error) { return proofs.New(u) }
 
 // NewGoodSim builds a fault-free simulator.
 func NewGoodSim(c *Circuit) *GoodSim { return goodsim.New(c) }
+
+// CompileCircuit lowers a circuit for the csim-C engine. plan may be
+// nil; a non-nil macro plan additionally inlines macros as lookup
+// tables in the compiled good machine (NewCompiledGood).
+func CompileCircuit(c *Circuit, plan *MacroPlan) *CompiledProgram {
+	return compiled.Compile(c, plan)
+}
+
+// NewCompiled builds the csim-C fault simulator, compiling the
+// universe's circuit internally. To amortize compilation across
+// universes (say, stuck-at and transition over one circuit), use
+// CompileCircuit once and NewCompiledWith per universe.
+func NewCompiled(u *Universe) (*CompiledSim, error) { return compiled.New(u) }
+
+// NewCompiledWith builds a csim-C simulator over an already compiled
+// program; the program must be compiled from the universe's circuit.
+func NewCompiledWith(p *CompiledProgram, u *Universe) (*CompiledSim, error) {
+	return compiled.NewWith(p, u)
+}
+
+// SimulateCompiled runs the csim-C engine over the whole vector set.
+// Detections are bit-identical to SimulateSerial.
+func SimulateCompiled(u *Universe, vs *Vectors) (*Result, error) {
+	sim, err := compiled.New(u)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run(vs), nil
+}
+
+// NewCompiledGood builds the compiled good machine over a program.
+func NewCompiledGood(p *CompiledProgram) *CompiledGood { return p.NewGood() }
+
+// ExtractMacros builds the fanout-free-region macro plan csim-M/csim-MV
+// use (maxInputs <= 0 uses the default cap).
+func ExtractMacros(c *Circuit, maxInputs int) (*MacroPlan, error) {
+	if maxInputs <= 0 {
+		maxInputs = macro.DefaultMaxInputs
+	}
+	return macro.Extract(c, maxInputs)
+}
 
 // SimulateSerial runs the brute-force oracle (one resimulation per fault).
 func SimulateSerial(u *Universe, vs *Vectors) *Result { return serial.Simulate(u, vs) }

@@ -132,7 +132,7 @@ func quickSuite() []Cell {
 	var cells []Cell
 	for _, ckt := range []string{"s298", "s444", "s1494"} {
 		for _, eng := range []harness.Engine{
-			harness.CsimV, harness.CsimM, harness.CsimMV, harness.PROOFS,
+			harness.CsimV, harness.CsimM, harness.CsimMV, harness.CsimC, harness.PROOFS,
 		} {
 			cells = append(cells, Cell{Engine: eng, Circuit: ckt, Model: ModelStuck, Vectors: Det()})
 		}
@@ -150,6 +150,13 @@ func quickSuite() []Cell {
 		Cell{Engine: harness.CsimMV, Circuit: "s298", Model: ModelTransition, Vectors: Det()},
 		// One transition vector-sharded cell covers driver-history carry.
 		Cell{Engine: harness.CsimV2, Circuit: "s298", Model: ModelTransition, Vectors: Det(), Windows: 2},
+		// One compiled transition cell covers masked transition injection.
+		Cell{Engine: harness.CsimC, Circuit: "s298", Model: ModelTransition, Vectors: Det()},
+		// The good-machine throughput pair: interpreted event-driven vs
+		// compiled straight-line evaluation on the largest stand-in
+		// (BENCHMARKS.md "Interpreted vs compiled").
+		Cell{Engine: harness.GoodSim, Circuit: "s35932", Model: ModelStuck, Vectors: Det()},
+		Cell{Engine: harness.GoodC, Circuit: "s35932", Model: ModelStuck, Vectors: Det()},
 	)
 	return cells
 }
@@ -176,6 +183,9 @@ func paperSuite() []Cell {
 	for _, ckt := range []string{"s298", "s444", "s1238", "s1494"} {
 		cells = append(cells, Cell{Engine: harness.CsimMV, Circuit: ckt, Model: ModelTransition, Vectors: Det()})
 	}
+	for _, ckt := range []string{"s298", "s1494", "s5378"} {
+		cells = append(cells, Cell{Engine: harness.CsimC, Circuit: ckt, Model: ModelStuck, Vectors: Det()})
+	}
 	for _, ckt := range []string{"s298", "s344", "s386"} {
 		cells = append(cells, Cell{Engine: harness.Serial, Circuit: ckt, Model: ModelStuck, Vectors: Det()})
 	}
@@ -190,10 +200,16 @@ func paperSuite() []Cell {
 func fullSuite() []Cell {
 	cells := paperSuite()
 	for _, eng := range []harness.Engine{
-		harness.CsimV, harness.CsimM, harness.CsimMV, harness.PROOFS,
+		harness.CsimV, harness.CsimM, harness.CsimMV, harness.CsimC, harness.PROOFS,
 	} {
 		cells = append(cells, Cell{Engine: eng, Circuit: "s35932", Model: ModelStuck, Vectors: Det(), Heavy: true})
 	}
+	// The good-machine pair on the same circuit, full-length, so the
+	// interpreted-vs-compiled ratio is also recorded at full scale.
+	cells = append(cells,
+		Cell{Engine: harness.GoodSim, Circuit: "s35932", Model: ModelStuck, Vectors: Det()},
+		Cell{Engine: harness.GoodC, Circuit: "s35932", Model: ModelStuck, Vectors: Det()},
+	)
 	for _, w := range []int{1, 2, 4, 8} {
 		cells = append(cells,
 			Cell{Engine: harness.CsimP, Circuit: "s5378", Model: ModelStuck, Vectors: Det(), Workers: w},

@@ -1,0 +1,213 @@
+package compiled
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/gen"
+	"repro/internal/goodsim"
+	"repro/internal/iscas"
+	"repro/internal/logic"
+	"repro/internal/macro"
+	"repro/internal/netlist"
+	"repro/internal/serial"
+	"repro/internal/vectors"
+)
+
+func genCircuit(t *testing.T, seed int64, pis, pos, ffs, gates int) *netlist.Circuit {
+	t.Helper()
+	c, err := gen.Generate(gen.Spec{
+		Name: fmt.Sprintf("rnd%d", seed),
+		PIs:  pis, POs: pos, DFFs: ffs, Gates: gates, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func compare(t *testing.T, tag string, want, got *faults.Result) {
+	t.Helper()
+	if d := want.Diff(got); d != "" {
+		t.Fatalf("%s: detections differ:\n%s", tag, d)
+	}
+	for i := range want.DetectedAt {
+		if want.DetectedAt[i] != got.DetectedAt[i] {
+			t.Fatalf("%s: fault %s first detected at %d, oracle %d", tag,
+				want.Universe.Faults[i].Name(want.Universe.Circuit),
+				got.DetectedAt[i], want.DetectedAt[i])
+		}
+		if want.PotDetected[i] != got.PotDetected[i] {
+			t.Fatalf("%s: fault %s potential %v, oracle %v", tag,
+				want.Universe.Faults[i].Name(want.Universe.Circuit),
+				got.PotDetected[i], want.PotDetected[i])
+		}
+	}
+}
+
+// runBoth runs the serial oracle and csim-C over the same workload and
+// requires bit-identical results.
+func runBoth(t *testing.T, tag string, u *faults.Universe, vs *vectors.Set) {
+	t.Helper()
+	want := serial.Simulate(u, vs)
+	sim, err := New(u)
+	if err != nil {
+		t.Fatalf("%s: %v", tag, err)
+	}
+	compare(t, tag, want, sim.Run(vs))
+}
+
+// TestWidthEdges pins the bit-parallel pass boundaries: vector counts
+// around and across the 64-lane word width, on both fault models.
+func TestWidthEdges(t *testing.T) {
+	c := genCircuit(t, 7, 4, 3, 5, 40)
+	for _, nv := range []int{1, 63, 64, 65, 130} {
+		vs := vectors.Random(c, nv, int64(nv))
+		for _, model := range []string{"stuck", "stuck-all", "transition"} {
+			var u *faults.Universe
+			switch model {
+			case "stuck":
+				u = faults.StuckCollapsed(c)
+			case "stuck-all":
+				u = faults.StuckAll(c)
+			case "transition":
+				u = faults.Transition(c)
+			}
+			runBoth(t, fmt.Sprintf("%s/%s/n=%d", c.Name, model, nv), u, vs)
+		}
+	}
+}
+
+// TestRandomCircuitsAgree sweeps circuit shapes — combinational-only,
+// state-heavy, FF-to-FF chains — against the oracle.
+func TestRandomCircuitsAgree(t *testing.T) {
+	shapes := []struct{ pis, pos, ffs, gates int }{
+		{2, 2, 0, 12},
+		{4, 3, 2, 30},
+		{3, 2, 6, 25},
+		{5, 4, 8, 80},
+		{6, 5, 12, 150},
+	}
+	for si, sh := range shapes {
+		for seed := int64(1); seed <= 3; seed++ {
+			c := genCircuit(t, 100*int64(si)+seed, sh.pis, sh.pos, sh.ffs, sh.gates)
+			vs := vectors.Random(c, 70, seed)
+			runBoth(t, c.Name+"/stuck", faults.StuckCollapsed(c), vs)
+			runBoth(t, c.Name+"/stuck-all", faults.StuckAll(c), vs)
+			runBoth(t, c.Name+"/transition", faults.Transition(c), vs)
+		}
+	}
+}
+
+// TestBundledCircuits checks csim-C against the oracle on bundled
+// suite circuits for both fault models.
+func TestBundledCircuits(t *testing.T) {
+	names := []string{"s27", "s298", "s344"}
+	nv := 48
+	if testing.Short() {
+		names = names[:2]
+		nv = 24
+	}
+	for _, name := range names {
+		c, err := iscas.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vs := vectors.Random(c, nv, 42)
+		runBoth(t, name+"/stuck", faults.StuckCollapsed(c), vs)
+		runBoth(t, name+"/transition", faults.Transition(c), vs)
+	}
+}
+
+// TestXVectors drives explicit X input values through the packed
+// planes.
+func TestXVectors(t *testing.T) {
+	c := genCircuit(t, 11, 3, 2, 4, 30)
+	vs := vectors.Random(c, 40, 3)
+	for i := range vs.Vecs {
+		vs.Vecs[i][i%len(vs.Vecs[i])] = logic.X
+	}
+	runBoth(t, "xvec/stuck", faults.StuckCollapsed(c), vs)
+	runBoth(t, "xvec/transition", faults.Transition(c), vs)
+}
+
+// TestTraceMatchesGoodsim checks the packed trace lane-for-lane
+// against the interpreted good machine.
+func TestTraceMatchesGoodsim(t *testing.T) {
+	c := genCircuit(t, 5, 4, 3, 5, 60)
+	vs := vectors.Random(c, 130, 9)
+	p := Compile(c, nil)
+	tr, _ := p.Trace(vs)
+	ref := goodsim.Record(c, vs.Vecs)
+	for cyc := 0; cyc < vs.Len(); cyc++ {
+		for g := range c.Gates {
+			if got, want := tr.At(cyc, netlist.GateID(g)), ref.At(cyc, netlist.GateID(g)); got != want {
+				t.Fatalf("cycle %d gate %s: trace %v, goodsim %v", cyc, c.Gates[g].Name, got, want)
+			}
+		}
+	}
+}
+
+// TestGoodMatchesGoodsim checks the macro-inlined good machine against
+// the interpreted one at the primary outputs, with and without a plan.
+func TestGoodMatchesGoodsim(t *testing.T) {
+	c := genCircuit(t, 21, 5, 4, 6, 90)
+	vs := vectors.Random(c, 100, 13)
+	plan, err := macro.Extract(c, macro.DefaultMaxInputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		plan *macro.Plan
+	}{{"macro", plan}, {"fallback", nil}} {
+		p := Compile(c, tc.plan)
+		g := p.NewGood()
+		ref := goodsim.New(c)
+		for cyc := 0; cyc < vs.Len(); cyc++ {
+			g.Cycle(vs.Vecs[cyc])
+			ref.Apply(vs.Vecs[cyc])
+			for i, po := range c.POs {
+				if got, want := g.Val(po), ref.Val(po); got != want {
+					t.Fatalf("%s: cycle %d PO %d: compiled %v, goodsim %v", tc.name, cyc, i, got, want)
+				}
+			}
+			ref.Clock()
+		}
+	}
+}
+
+// TestStatsAccounting checks that a run reports the standard counters.
+func TestStatsAccounting(t *testing.T) {
+	c := genCircuit(t, 31, 4, 3, 4, 50)
+	u := faults.StuckCollapsed(c)
+	vs := vectors.Random(c, 64, 17)
+	sim, err := New(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sim.Run(vs)
+	st := sim.Stats()
+	if st.GoodEvals == 0 {
+		t.Error("GoodEvals = 0 after a run")
+	}
+	if st.Evals == 0 {
+		t.Error("Evals = 0 after a run")
+	}
+	if st.Detections != res.NumDet {
+		t.Errorf("Detections = %d, result has %d", st.Detections, res.NumDet)
+	}
+	if st.MemBytes <= 0 {
+		t.Error("MemBytes not accounted")
+	}
+}
+
+// TestNewWithRejectsMismatch pins the Program/Universe circuit check.
+func TestNewWithRejectsMismatch(t *testing.T) {
+	a := genCircuit(t, 41, 3, 2, 2, 20)
+	b := genCircuit(t, 43, 3, 2, 2, 20)
+	if _, err := NewWith(Compile(a, nil), faults.StuckCollapsed(b)); err == nil {
+		t.Fatal("NewWith accepted a universe over a different circuit")
+	}
+}

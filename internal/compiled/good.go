@@ -1,0 +1,106 @@
+package compiled
+
+import (
+	"repro/internal/logic"
+	"repro/internal/macro"
+	"repro/internal/netlist"
+	"repro/internal/vectors"
+)
+
+// Good is the compiled good-machine simulator: per cycle it evaluates
+// the macro-inlined instruction stream — one table lookup per
+// table-sized macro, cone replay for wide ones — over a flat value
+// array, skipping macro-interior gates entirely. When the Program was
+// compiled without a plan it falls back to the straight-line
+// whole-network evaluator. Semantics match goodsim.Sim at the primary
+// outputs and flip-flop state; interior gate values are not
+// maintained.
+type Good struct {
+	p       *Program
+	val     []logic.V
+	next    []logic.V
+	frame   []logic.V
+	leafBuf [logic.MaxPins]logic.V
+
+	// Evals counts macro (or gate) evaluations performed.
+	Evals int64
+}
+
+// NewGood builds a good-machine simulator over the compiled program,
+// with every signal initialized to X.
+func (p *Program) NewGood() *Good {
+	g := &Good{
+		p:     p,
+		val:   make([]logic.V, len(p.c.Gates)),
+		next:  make([]logic.V, len(p.c.DFFs)),
+		frame: make([]logic.V, p.goodFrame),
+	}
+	g.Reset()
+	return g
+}
+
+// Reset returns every signal, including flip-flop state, to X.
+func (g *Good) Reset() {
+	for i := range g.val {
+		g.val[i] = logic.X
+	}
+}
+
+// Val returns the current value of a gate's output line. Only sources,
+// macro roots and (in the fallback mode) all gates carry meaningful
+// values.
+func (g *Good) Val(id netlist.GateID) logic.V { return g.val[id] }
+
+// Outputs copies the current primary-output values into dst
+// (allocating if nil) and returns it.
+func (g *Good) Outputs(dst []logic.V) []logic.V {
+	if dst == nil {
+		dst = make([]logic.V, len(g.p.c.POs))
+	}
+	for i, po := range g.p.c.POs {
+		dst[i] = g.val[po]
+	}
+	return dst
+}
+
+// Cycle runs one full clock cycle: assert vec on the primary inputs,
+// evaluate the compiled network, then latch the flip-flops. The
+// settled PO values are readable through Outputs before the next call.
+func (g *Good) Cycle(vec []logic.V) {
+	p := g.p
+	for i, pi := range p.c.PIs {
+		g.val[pi] = vec[i].Norm()
+	}
+	if p.good != nil {
+		for i := range p.good {
+			ins := &p.good[i]
+			in := g.leafBuf[:len(ins.leaves)]
+			for j, l := range ins.leaves {
+				in[j] = g.val[l]
+			}
+			if ins.tbl != nil {
+				g.val[ins.root] = ins.tbl[macro.TableIndex(in)]
+			} else {
+				g.val[ins.root] = ins.m.Eval(in, g.frame)
+			}
+		}
+		g.Evals += int64(len(p.good))
+	} else {
+		p.evalScalar(g.val)
+		g.Evals += int64(len(p.order))
+	}
+	for i := range p.c.DFFs {
+		g.next[i] = g.val[p.dffD[i]]
+	}
+	for i, ff := range p.c.DFFs {
+		g.val[ff] = g.next[i]
+	}
+}
+
+// Run simulates the whole vector sequence from the all-X state.
+func (g *Good) Run(vs *vectors.Set) {
+	g.Reset()
+	for t := 0; t < vs.Len(); t++ {
+		g.Cycle(vs.Vecs[t])
+	}
+}

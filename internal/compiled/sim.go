@@ -1,0 +1,497 @@
+package compiled
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/csim"
+	"repro/internal/faults"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/vectors"
+)
+
+// siteKind classifies a fault site once, so the per-pass hot path
+// switches on a dense enum instead of re-deriving gate/pin/kind
+// combinations.
+type siteKind uint8
+
+const (
+	siteComb      siteKind = iota // stuck-at on a combinational gate (pin or output)
+	sitePI                        // stuck-at on a primary-input line
+	siteDFFOut                    // stuck-at on a flip-flop output
+	siteDFFD                      // stuck-at on a flip-flop D pin
+	siteCombTrans                 // transition fault on a combinational gate input
+	siteDFFTrans                  // transition fault on a flip-flop D pin
+)
+
+// ffDiff is one faulty-machine state divergence: flip-flop ff (index
+// into Circuit.DFFs) enters the next cycle holding val instead of the
+// good value.
+type ffDiff struct {
+	ff  int32
+	val logic.V
+}
+
+// Sim is the csim-C fault simulator. It owns the mutable per-pass
+// scratch (bit-planes, event queue, epoch stamps) and is therefore not
+// safe for concurrent use; share the Program, not the Sim.
+//
+// Each fault is simulated in passes of up to 64 cycles against the
+// packed good trace. A pass speculates that the faulty machine's
+// flip-flop state equals the good machine's in every lane after the
+// first; event-driven plane propagation then finds the earliest lane
+// where a flip-flop input diverges, the pass result is kept exactly up
+// to that lane, and the next pass resumes one cycle later carrying the
+// true state difference list. Output-cone restriction falls out of the
+// event discipline: only gates downstream of an injected difference
+// are ever evaluated.
+type Sim struct {
+	p     *Program
+	u     *faults.Universe
+	stats csim.Stats
+
+	tr         *Trace
+	trV1, trV0 []uint64 // bit-planes of the current 64-cycle block
+
+	v1, v0    []uint64
+	stamp     []int32
+	epoch     int32
+	sched     []bool
+	queue     [][]netlist.GateID
+	touched   []netlist.GateID
+	touchMark []bool
+	diffs     []ffDiff
+	peakDiffs int
+}
+
+// New compiles u's circuit and returns a simulator over it.
+func New(u *faults.Universe) (*Sim, error) {
+	return NewWith(Compile(u.Circuit, nil), u)
+}
+
+// NewWith builds a simulator over an already compiled program — the
+// service cache memoizes the Program and hands it to every job over
+// the same circuit. The universe must be over the compiled circuit.
+func NewWith(p *Program, u *faults.Universe) (*Sim, error) {
+	if u.Circuit != p.c {
+		return nil, fmt.Errorf("compiled: universe circuit %q does not match compiled program %q",
+			u.Circuit.Name, p.c.Name)
+	}
+	ng := len(p.c.Gates)
+	s := &Sim{
+		p:         p,
+		u:         u,
+		v1:        make([]uint64, ng),
+		v0:        make([]uint64, ng),
+		stamp:     make([]int32, ng),
+		sched:     make([]bool, ng),
+		queue:     make([][]netlist.GateID, p.maxLevel+1),
+		touchMark: make([]bool, ng),
+	}
+	for i := range s.stamp {
+		s.stamp[i] = -1
+	}
+	return s, nil
+}
+
+// Stats returns the run's instrumentation counters in the standard
+// csim form, so harness tables, bench cells and the service's stats
+// view consume csim-C runs unchanged.
+func (s *Sim) Stats() csim.Stats { return s.stats }
+
+// Run simulates every fault of the universe over the vector sequence:
+// one compiled good-machine pass building the packed trace, then
+// per-fault bit-parallel re-evaluation. Detections are bit-identical
+// to serial.Simulate, including first-detection vector indices and
+// potential (X at a sampled output) detections.
+func (s *Sim) Run(vs *vectors.Set) *faults.Result {
+	res := faults.NewResult(s.u)
+	tr, gevals := s.p.Trace(vs)
+	s.tr = tr
+	s.stats.GoodEvals += int(gevals)
+	nc := vs.Len()
+	if nc > 0 {
+		for fi := range s.u.Faults {
+			s.runFault(&s.u.Faults[fi], nc, res)
+		}
+	}
+	s.stats.Detections = res.NumDet
+	s.stats.PeakElems = s.peakDiffs
+	s.stats.MemBytes = tr.Bytes() +
+		int64(len(s.v1)+len(s.v0))*8 + // scratch planes
+		int64(len(s.stamp))*4 +
+		int64(s.peakDiffs)*8
+	return res
+}
+
+// classify resolves a fault to its site kind and, for transition
+// faults, the site pin's driver gate.
+func (s *Sim) classify(f *faults.Fault) (siteKind, netlist.GateID) {
+	op := s.p.c.Gate(f.Gate).Op
+	if f.Kind.Stuck() {
+		switch op {
+		case logic.OpInput:
+			return sitePI, netlist.NoGate
+		case logic.OpDFF:
+			if f.Pin == faults.OutPin {
+				return siteDFFOut, netlist.NoGate
+			}
+			return siteDFFD, netlist.NoGate
+		}
+		return siteComb, netlist.NoGate
+	}
+	drv := s.p.fanin(f.Gate)[f.Pin]
+	if op == logic.OpDFF {
+		return siteDFFTrans, drv
+	}
+	return siteCombTrans, drv
+}
+
+// runFault simulates one fault to detection or vector exhaustion.
+func (s *Sim) runFault(f *faults.Fault, nc int, res *faults.Result) {
+	st, drv := s.classify(f)
+	s.diffs = s.diffs[:0]
+	prevDrv := logic.X
+	for cyc := 0; cyc < nc; {
+		done, next := s.pass(f, st, drv, cyc, nc, res, &prevDrv)
+		if done {
+			return
+		}
+		cyc = next
+	}
+}
+
+// read returns gate g's faulty bit-planes, lazily initializing them
+// from the good trace on first touch in the current pass.
+func (s *Sim) read(g netlist.GateID) (uint64, uint64) {
+	if s.stamp[g] != s.epoch {
+		s.stamp[g] = s.epoch
+		s.v1[g] = s.trV1[g]
+		s.v0[g] = s.trV0[g]
+	}
+	return s.v1[g], s.v0[g]
+}
+
+// forcePlanes overwrites the masked lanes of a plane pair with v.
+func forcePlanes(a1, a0 uint64, v logic.V, m uint64) (uint64, uint64) {
+	a1 &^= m
+	a0 &^= m
+	switch v {
+	case logic.One:
+		a1 |= m
+	case logic.Zero:
+		a0 |= m
+	}
+	return a1, a0
+}
+
+// force overwrites the masked lanes of gate g's faulty planes with v.
+func (s *Sim) force(g netlist.GateID, v logic.V, m uint64) {
+	s.read(g)
+	s.v1[g], s.v0[g] = forcePlanes(s.v1[g], s.v0[g], v, m)
+}
+
+// setLane writes one lane of gate g's faulty planes.
+func (s *Sim) setLane(g netlist.GateID, lane uint, v logic.V) {
+	s.read(g)
+	bit := uint64(1) << lane
+	s.v1[g] = s.v1[g]&^bit | oneBit[v]<<lane
+	s.v0[g] = s.v0[g]&^bit | zeroBit[v]<<lane
+}
+
+// schedule queues gate g for evaluation at its level.
+func (s *Sim) schedule(g netlist.GateID) {
+	if s.sched[g] {
+		return
+	}
+	s.sched[g] = true
+	s.queue[s.p.level[g]] = append(s.queue[s.p.level[g]], g)
+	s.stats.Scheds++
+}
+
+// schedFanouts queues gate g's combinational consumers.
+func (s *Sim) schedFanouts(g netlist.GateID) {
+	for _, fo := range s.p.fanout(g) {
+		s.schedule(fo)
+	}
+}
+
+// touch records that gate g's planes were written this pass, when any
+// flip-flop samples g — the set the divergence cutoff and state carry
+// inspect.
+func (s *Sim) touch(g netlist.GateID) {
+	if !s.p.feedsFF(g) || s.touchMark[g] {
+		return
+	}
+	s.touchMark[g] = true
+	s.touched = append(s.touched, g)
+}
+
+// pass simulates fault f over the lanes [cyc%64, …] of cyc's 64-cycle
+// block. It returns (true, 0) when the fault was detected, else
+// (false, next) with the first cycle the next pass must resume from.
+func (s *Sim) pass(f *faults.Fault, st siteKind, drv netlist.GateID, cyc, nc int, res *faults.Result, prevDrv *logic.V) (bool, int) {
+	p := s.p
+	b := cyc / wordW
+	off := uint(cyc % wordW)
+	n := nc - b*wordW
+	if n > wordW {
+		n = wordW
+	}
+	wEnd := uint(n - 1)
+	if st == siteDFFTrans {
+		// The latched fault value recurs through the state register, so
+		// this site kind advances one cycle per pass.
+		wEnd = off
+	}
+	mask := maskRange(off, wEnd)
+	s.epoch++
+	s.touched = s.touched[:0]
+	s.trV1, s.trV0 = s.tr.block(b)
+
+	// Install the carried state differences at the entry lane.
+	for _, d := range s.diffs {
+		ffg := p.c.DFFs[d.ff]
+		s.setLane(ffg, off, d.val)
+		s.schedFanouts(ffg)
+		s.touch(ffg)
+	}
+
+	// Inject the fault. Flip-flop-sited stuck faults pin the state
+	// line's planes exactly (no speculation), so the site register is
+	// exempt from the divergence cutoff and carries its own next-state
+	// difference explicitly.
+	exempt := int32(-1)
+	switch st {
+	case sitePI:
+		s.force(f.Gate, f.Kind.StuckValue(), mask)
+		s.schedFanouts(f.Gate)
+		s.touch(f.Gate)
+	case siteDFFOut:
+		s.force(f.Gate, f.Kind.StuckValue(), mask)
+		s.schedFanouts(f.Gate)
+		s.touch(f.Gate)
+		exempt = p.dffIdx[f.Gate]
+	case siteDFFD:
+		// Lane off holds the carried (or good) state; the stuck D pin
+		// fixes every later lane's latched value.
+		if m2 := mask &^ (uint64(1) << off); m2 != 0 {
+			s.force(f.Gate, f.Kind.StuckValue(), m2)
+			s.schedFanouts(f.Gate)
+			s.touch(f.Gate)
+		}
+		exempt = p.dffIdx[f.Gate]
+	case siteDFFTrans:
+		exempt = p.dffIdx[f.Gate]
+	case siteComb, siteCombTrans:
+		s.schedule(f.Gate)
+	}
+
+	// Event-driven level-order plane propagation.
+	for l := int32(1); l <= p.maxLevel; l++ {
+		bucket := s.queue[l]
+		for i := 0; i < len(bucket); i++ {
+			g := bucket[i]
+			s.sched[g] = false
+			s.evalGate(g, f, st, drv, off, mask, *prevDrv)
+		}
+		s.queue[l] = bucket[:0]
+	}
+
+	// Divergence cutoff: the first lane where a flip-flop input
+	// diverges invalidates the speculation from the next lane on. Lane
+	// L itself executed with a correct entering state and stays valid.
+	last := wEnd
+	var div uint64
+	for _, g := range s.touched {
+		fed := p.fed(g)
+		if exempt >= 0 && len(fed) == 1 && fed[0] == exempt {
+			continue
+		}
+		div |= (s.v1[g] ^ s.trV1[g]) | (s.v0[g] ^ s.trV0[g])
+	}
+	if div &= mask; div != 0 {
+		if fl := uint(bits.TrailingZeros64(div)); fl < last {
+			last = fl
+		}
+	}
+
+	// Detection over the valid lanes, against the good trace: a hard
+	// detect needs opposite binary planes; a potential detect is good
+	// binary against faulty X. Only epoch-stamped POs can differ.
+	valid := maskRange(off, last)
+	var det, pot uint64
+	for _, po := range p.c.POs {
+		if s.stamp[po] != s.epoch {
+			continue
+		}
+		f1, f0 := s.v1[po], s.v0[po]
+		g1, g0 := s.trV1[po], s.trV0[po]
+		det |= g1&f0 | g0&f1
+		pot |= (g1 | g0) &^ (f1 | f0)
+	}
+	det &= valid
+	pot &= valid
+	s.clearTouch()
+	if det != 0 {
+		dl := uint(bits.TrailingZeros64(det))
+		// The serial oracle records a potential detect on the detecting
+		// cycle itself, then stops simulating the fault.
+		if pot&maskRange(off, dl) != 0 {
+			res.PotDetect(f.ID)
+		}
+		res.Detect(f.ID, b*wordW+int(dl))
+		return true, 0
+	}
+	if pot != 0 {
+		res.PotDetect(f.ID)
+	}
+
+	// Carry the true state difference out of lane `last` into the next
+	// pass.
+	nd := s.diffs[:0]
+	for _, g := range s.touched {
+		fv := planeVal(s.v1[g], s.v0[g], last)
+		gv := planeVal(s.trV1[g], s.trV0[g], last)
+		if fv == gv {
+			continue
+		}
+		for _, ffi := range p.fed(g) {
+			if ffi == exempt {
+				continue
+			}
+			nd = append(nd, ffDiff{ff: ffi, val: fv})
+		}
+	}
+	switch st {
+	case siteDFFOut, siteDFFD:
+		sv := f.Kind.StuckValue()
+		dd := p.dffD[exempt]
+		if gq := planeVal(s.trV1[dd], s.trV0[dd], last); sv != gq {
+			nd = append(nd, ffDiff{ff: exempt, val: sv})
+		}
+	case siteDFFTrans:
+		raw := s.laneVal(drv, last)
+		fv := faults.TransitionFV(f.Kind, *prevDrv, raw)
+		*prevDrv = raw
+		if gq := planeVal(s.trV1[drv], s.trV0[drv], last); fv != gq {
+			nd = append(nd, ffDiff{ff: exempt, val: fv})
+		}
+	case siteCombTrans:
+		*prevDrv = s.laneVal(drv, last)
+	}
+	s.diffs = nd
+	if len(nd) > s.peakDiffs {
+		s.peakDiffs = len(nd)
+	}
+	s.stats.CurElems = len(nd)
+	return false, b*wordW + int(last) + 1
+}
+
+// clearTouch resets the touch marks; the touched list itself survives
+// until the carry step of the same pass reads it.
+func (s *Sim) clearTouch() {
+	for _, g := range s.touched {
+		s.touchMark[g] = false
+	}
+}
+
+// laneVal reads gate g's faulty value at a lane: its planes when
+// written this pass, the good trace otherwise.
+func (s *Sim) laneVal(g netlist.GateID, lane uint) logic.V {
+	if s.stamp[g] == s.epoch {
+		return planeVal(s.v1[g], s.v0[g], lane)
+	}
+	return planeVal(s.trV1[g], s.trV0[g], lane)
+}
+
+// evalGate re-evaluates one gate's bit-planes from its fanin planes,
+// applying the fault's pin or output forcing when g is the site, and
+// schedules the fanout on change.
+func (s *Sim) evalGate(g netlist.GateID, f *faults.Fault, st siteKind, drv netlist.GateID, off uint, mask uint64, prevDrv logic.V) {
+	p := s.p
+	ins := p.fanin(g)
+	code := p.code[g]
+	isSite := g == f.Gate && (st == siteComb || st == siteCombTrans)
+
+	pin := func(j int) (uint64, uint64) {
+		i1, i0 := s.read(ins[j])
+		if isSite && f.Pin == j {
+			if st == siteComb {
+				i1, i0 = forcePlanes(i1, i0, f.Kind.StuckValue(), mask)
+			} else {
+				// Transition: the effective pin value is TransitionFV
+				// (ternary AND for STR, OR for STF) of the driver's
+				// previous-cycle and current values. The driver is
+				// strictly upstream in level order, so its planes are
+				// final; shifting them by one lane yields previous-cycle
+				// values, with the carried scalar spliced into the entry
+				// lane.
+				d1, d0 := s.lanePlanes(drv)
+				bit := uint64(1) << off
+				p1 := d1<<1&^bit | oneBit[prevDrv]<<off
+				p0 := d0<<1&^bit | zeroBit[prevDrv]<<off
+				var e1, e0 uint64
+				if f.Kind == faults.STR {
+					e1, e0 = p1&i1, p0|i0
+				} else {
+					e1, e0 = p1|i1, p0&i0
+				}
+				i1 = i1&^mask | e1&mask
+				i0 = i0&^mask | e0&mask
+			}
+		}
+		return i1, i0
+	}
+
+	var a1, a0 uint64
+	switch code &^ 1 {
+	case opBuf:
+		a1, a0 = pin(0)
+	case opAnd:
+		a1, a0 = ^uint64(0), 0
+		for j := range ins {
+			i1, i0 := pin(j)
+			a1 &= i1
+			a0 |= i0
+		}
+	case opOr:
+		a1, a0 = 0, ^uint64(0)
+		for j := range ins {
+			i1, i0 := pin(j)
+			a1 |= i1
+			a0 &= i0
+		}
+	case opXor:
+		a1, a0 = 0, ^uint64(0)
+		for j := range ins {
+			i1, i0 := pin(j)
+			a1, a0 = a1&i0|a0&i1, a1&i1|a0&i0
+		}
+	}
+	if code&1 != 0 {
+		a1, a0 = a0, a1
+	}
+	if isSite && st == siteComb && f.Pin == faults.OutPin {
+		a1, a0 = forcePlanes(a1, a0, f.Kind.StuckValue(), mask)
+	}
+
+	s.stats.Evals++
+	o1, o0 := s.read(g)
+	if a1 == o1 && a0 == o0 {
+		return
+	}
+	s.v1[g], s.v0[g] = a1, a0
+	s.schedFanouts(g)
+	s.touch(g)
+}
+
+// lanePlanes reads gate g's faulty planes without initializing them:
+// the trace planes when untouched this pass.
+func (s *Sim) lanePlanes(g netlist.GateID) (uint64, uint64) {
+	if s.stamp[g] == s.epoch {
+		return s.v1[g], s.v0[g]
+	}
+	return s.trV1[g], s.trV0[g]
+}

@@ -11,8 +11,11 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/compiled"
 	"repro/internal/csim"
 	"repro/internal/faults"
+	"repro/internal/goodsim"
+	"repro/internal/netlist"
 	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/proofs"
@@ -43,12 +46,25 @@ const (
 	// CsimGrid is the 2-D engine: fault shards crossed with vector
 	// windows. With both axes unset the unified scheduler picks the shape.
 	CsimGrid Engine = "csim-grid"
+	// CsimC is the compiled backend: the circuit lowered once into
+	// branch-free levelized straight-line evaluation over flat word
+	// arrays, a packed 64-cycle-per-word good trace, and per-fault
+	// bit-parallel cone re-evaluation (internal/compiled).
+	CsimC Engine = "csim-C"
 	// PROOFS is the bit-parallel single-fault-propagation baseline.
 	PROOFS Engine = "PROOFS"
 	// Serial is the brute-force oracle: one full resimulation per fault.
 	// It is orders of magnitude slower than every other engine and exists
 	// as the ground-truth throughput floor in benchmark reports.
 	Serial Engine = "serial"
+	// GoodSim runs only the interpreted event-driven good machine
+	// (internal/goodsim) — no faults. It exists as the interpreter side
+	// of the good-machine throughput comparison in benchmark reports.
+	GoodSim Engine = "good-sim"
+	// GoodC runs only the compiled good machine: the straight-line fused
+	// table-lookup stream over the flat compiled program. The compiled
+	// side of the good-machine throughput comparison.
+	GoodC Engine = "good-C"
 )
 
 // Config returns the csim configuration for a csim engine.
@@ -114,6 +130,29 @@ func Run(engine Engine, u *faults.Universe, vs *vectors.Set) (Measurement, error
 // distinguishable in one metrics snapshot.
 func EnginePrefix(engine Engine) string { return string(engine) + "." }
 
+// compiledCache memoizes the compile-once csim-C artifact per circuit.
+// The Program is immutable and shared by design — lowering a circuit is
+// a one-time cost, exactly like the cached universes and deterministic
+// sets — so repeated harness runs (bench trials, table cells) measure
+// evaluation, not recompilation. The service layer memoizes the same
+// artifact in its own cache (service.Compiled.Program).
+var (
+	compiledMu    sync.Mutex
+	compiledCache = map[*netlist.Circuit]*compiled.Program{}
+)
+
+// compiledProgram returns the memoized compiled form of a circuit.
+func compiledProgram(c *netlist.Circuit) *compiled.Program {
+	compiledMu.Lock()
+	defer compiledMu.Unlock()
+	p := compiledCache[c]
+	if p == nil {
+		p = compiled.Compile(c, nil)
+		compiledCache[c] = p
+	}
+	return p
+}
+
 // RunObserved measures one engine under the observability layer: the
 // engine registers its metrics into ob's registry (namespaced by
 // EnginePrefix), the simulation runs inside a "fault-sim" tracer span,
@@ -140,6 +179,34 @@ func RunObserved(engine Engine, u *faults.Universe, vs *vectors.Set, ob *obs.Obs
 		sp := ob.Span("fault-sim")
 		res = serial.Simulate(u, vs)
 		sp.End()
+	case CsimC:
+		sim, err := compiled.NewWith(compiledProgram(u.Circuit), u)
+		if err != nil {
+			return m, err
+		}
+		sp := ob.Span("fault-sim")
+		res = sim.Run(vs)
+		sp.End()
+		st := sim.Stats()
+		csim.PublishStats(ob.Registry(), EnginePrefix(engine), st)
+		m.MemBytes = st.MemBytes
+	case GoodSim:
+		sp := ob.Span("good-sim")
+		s := goodsim.New(u.Circuit)
+		for _, vec := range vs.Vecs {
+			s.Apply(vec)
+			s.Clock()
+		}
+		sp.End()
+		res = faults.NewResult(u)
+		ob.Registry().Counter(EnginePrefix(engine) + "good_evals").Add(int64(s.Events))
+	case GoodC:
+		g := compiledProgram(u.Circuit).NewGood()
+		sp := ob.Span("good-sim")
+		g.Run(vs)
+		sp.End()
+		res = faults.NewResult(u)
+		ob.Registry().Counter(EnginePrefix(engine) + "good_evals").Add(g.Evals)
 	case PROOFS:
 		sim, err := proofs.New(u)
 		if err != nil {

@@ -12,6 +12,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/compiled"
 	"repro/internal/csim"
 	"repro/internal/faults"
 	"repro/internal/parallel"
@@ -104,6 +105,12 @@ func fuzzCase(t *testing.T, seed int64) {
 		t.Fatalf("%s: %v", tag, err)
 	}
 	compare(t, tag+"/csim-grid", oracle, res)
+
+	csim2, err := compiled.New(u)
+	if err != nil {
+		t.Fatalf("%s: %v", tag, err)
+	}
+	compare(t, tag+"/csim-C", oracle, csim2.Run(vs))
 }
 
 // fuzzCorpus is the fixed replayed corpus; FuzzDifferential seeds its

@@ -10,9 +10,11 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/compiled"
 	"repro/internal/csim"
 	"repro/internal/faults"
 	"repro/internal/gen"
+	"repro/internal/iscas"
 	"repro/internal/logic"
 	"repro/internal/macro"
 	"repro/internal/netcheck"
@@ -265,6 +267,49 @@ func TestInvariantsEveryCycle(t *testing.T) {
 					t.Fatalf("%s/%s after vector %d: %v", c.Name, cf.name, i, err)
 				}
 			}
+		}
+	}
+}
+
+// TestCompiledAgreesAcrossBundled is the csim-C three-way differential:
+// on bundled suite circuits under both fault models, serial, csim-MV and
+// the compiled engine must report identical detections, first-detection
+// vectors and potential detections.
+func TestCompiledAgreesAcrossBundled(t *testing.T) {
+	names := []string{"s27", "s298", "s344", "s444"}
+	nv := 60
+	if testing.Short() {
+		names = names[:2]
+		nv = 30
+	}
+	for _, name := range names {
+		c, err := iscas.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vs := vectors.Random(c, nv, 7)
+		for _, model := range []string{"stuck", "transition"} {
+			var u *faults.Universe
+			if model == "stuck" {
+				u = faults.StuckCollapsed(c)
+			} else {
+				u = faults.Transition(c)
+			}
+			tag := name + "/" + model
+			oracle := serial.Simulate(u, vs)
+			mvSim, err := csim.New(u, csim.MV())
+			if err != nil {
+				t.Fatal(err)
+			}
+			mv := mvSim.Run(vs)
+			compare(t, tag+"/csim-MV-vs-oracle", oracle, mv)
+			cs, err := compiled.New(u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := cs.Run(vs)
+			compare(t, tag+"/csim-C-vs-oracle", oracle, res)
+			compare(t, tag+"/csim-C-vs-MV", mv, res)
 		}
 	}
 }

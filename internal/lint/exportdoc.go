@@ -11,11 +11,14 @@ import (
 // users at, and must therefore all carry doc comments. "exportdoc" is
 // the analyzer's own test fixture.
 var exportDocPackages = map[string]bool{
-	"repro":                  true, // the faultsim facade
-	"repro/internal/bench":   true,
-	"repro/internal/harness": true,
-	"repro/internal/obs":     true,
-	"exportdoc":              true, // testdata fixture
+	"repro":                   true, // the faultsim facade
+	"repro/internal/bench":    true,
+	"repro/internal/compiled": true,
+	"repro/internal/harness":  true,
+	"repro/internal/obs":      true,
+	"repro/internal/parallel": true,
+	"repro/internal/service":  true,
+	"exportdoc":               true, // testdata fixture
 }
 
 // ExportDoc requires a doc comment on every exported identifier of the
@@ -25,7 +28,8 @@ var ExportDoc = &Analyzer{
 	Doc: `require doc comments on all exported identifiers of surface packages
 
 Scoped to the packages that form the documented API (the faultsim root
-package, internal/bench, internal/harness, internal/obs). Within them,
+package, internal/bench, internal/compiled, internal/harness,
+internal/obs, internal/parallel, internal/service). Within them,
 every exported top-level function, type, variable and constant, every
 method with an exported name on an exported type, every exported field
 of an exported struct, and every method of an exported interface needs

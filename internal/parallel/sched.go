@@ -35,6 +35,12 @@ const (
 	MinVectorsPerWindow = 32
 )
 
+// MinVectorsCompiled is the vector count from which the scheduler
+// recommends the compiled backend (internal/compiled): below one full
+// 64-lane word the packed passes run partly empty and the one-time
+// compile plus packed-trace cost is not amortized.
+const MinVectorsCompiled = 64
+
 // JobShape describes one simulation job for the scheduler.
 type JobShape struct {
 	// Gates is the circuit size (informational; granularity floors are
@@ -56,15 +62,29 @@ type JobShape struct {
 // Plan is the scheduler's decision: a K×W fault×vector grid. K=1 is a
 // pure vector split, W=1 a pure fault split, K=W=1 a single simulator.
 type Plan struct {
+	// FaultShards is K, the fault-partition count.
 	FaultShards int
-	Windows     int
+	// Windows is W, the vector-window count.
+	Windows int
+	// Compiled is advisory: the vector sequence is long enough
+	// (MinVectorsCompiled) that the compiled bit-parallel backend
+	// (engine csim-C) would run its packed passes at full word
+	// occupancy. The grid runners ignore it — it exists for callers
+	// choosing an engine before choosing a shard shape.
+	Compiled bool
 }
 
 // Grid reports whether the plan splits along both axes.
 func (p Plan) Grid() bool { return p.FaultShards > 1 && p.Windows > 1 }
 
-// String renders the plan as "KxW".
-func (p Plan) String() string { return fmt.Sprintf("%dx%d", p.FaultShards, p.Windows) }
+// String renders the plan as "KxW", with a "+C" suffix when the
+// compiled backend is recommended.
+func (p Plan) String() string {
+	if p.Compiled {
+		return fmt.Sprintf("%dx%d+C", p.FaultShards, p.Windows)
+	}
+	return fmt.Sprintf("%dx%d", p.FaultShards, p.Windows)
+}
 
 // Decide picks the grid shape for a job. It is deterministic: equal
 // shapes yield equal plans (with MaxProcs <= 0 the processor count of
@@ -104,15 +124,16 @@ func Explain(sh JobShape) (Plan, string) {
 		dr = 1
 	}
 	maxW := clamp(int(float64(sh.Vectors/MinVectorsPerWindow) * (1 - dr)))
-	caps := fmt.Sprintf("procs=%d fault_axis_cap=%d vector_axis_cap=%d drop_rate=%.2f",
-		p, maxF, maxW, dr)
+	compiled := sh.Vectors >= MinVectorsCompiled
+	caps := fmt.Sprintf("procs=%d fault_axis_cap=%d vector_axis_cap=%d drop_rate=%.2f compiled_ok=%t",
+		p, maxF, maxW, dr, compiled)
 	if maxF == 1 || maxW == 1 {
 		// At most one axis has capacity: single-axis split (or 1×1).
 		why := caps + ": at most one axis clears its granularity floor, single-axis split"
 		if maxF == 1 && maxW == 1 {
 			why = caps + ": both axes below their granularity floors, single simulator"
 		}
-		return Plan{FaultShards: maxF, Windows: maxW}, why
+		return Plan{FaultShards: maxF, Windows: maxW, Compiled: compiled}, why
 	}
 	f := maxF
 	if f > p {
@@ -132,7 +153,7 @@ func Explain(sh JobShape) (Plan, string) {
 	if w < 1 {
 		w = 1
 	}
-	return Plan{FaultShards: f, Windows: w}, why
+	return Plan{FaultShards: f, Windows: w, Compiled: compiled}, why
 }
 
 // AutoOptions configures a scheduler-planned run.

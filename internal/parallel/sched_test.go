@@ -21,34 +21,34 @@ func TestDecideSplitAxis(t *testing.T) {
 	}{
 		{"tiny circuit, huge vectors",
 			JobShape{Gates: 100, Faults: 50, Vectors: 10000, MaxProcs: 8},
-			Plan{FaultShards: 1, Windows: 8}},
+			Plan{FaultShards: 1, Windows: 8, Compiled: true}},
 		{"huge fault list, short vectors",
 			JobShape{Gates: 50000, Faults: 100000, Vectors: 40, MaxProcs: 8},
 			Plan{FaultShards: 8, Windows: 1}},
 		{"both large",
 			JobShape{Gates: 50000, Faults: 100000, Vectors: 10000, MaxProcs: 8},
-			Plan{FaultShards: 4, Windows: 2}},
+			Plan{FaultShards: 4, Windows: 2, Compiled: true}},
 		{"both large, four procs",
 			JobShape{Gates: 50000, Faults: 100000, Vectors: 10000, MaxProcs: 4},
-			Plan{FaultShards: 2, Windows: 2}},
+			Plan{FaultShards: 2, Windows: 2, Compiled: true}},
 		{"both large, two procs prefer faults",
 			JobShape{Gates: 50000, Faults: 100000, Vectors: 10000, MaxProcs: 2},
-			Plan{FaultShards: 2, Windows: 1}},
+			Plan{FaultShards: 2, Windows: 1, Compiled: true}},
 		{"fault axis capped, windows take the rest",
 			JobShape{Gates: 1000, Faults: 150, Vectors: 10000, MaxProcs: 8},
-			Plan{FaultShards: 2, Windows: 4}},
+			Plan{FaultShards: 2, Windows: 4, Compiled: true}},
 		{"high drop rate kills late windows",
 			JobShape{Gates: 50000, Faults: 100000, Vectors: 320, DropRate: 0.95, MaxProcs: 8},
-			Plan{FaultShards: 8, Windows: 1}},
+			Plan{FaultShards: 8, Windows: 1, Compiled: true}},
 		{"full drop rate",
 			JobShape{Gates: 50000, Faults: 100000, Vectors: 10000, DropRate: 1.0, MaxProcs: 8},
-			Plan{FaultShards: 8, Windows: 1}},
+			Plan{FaultShards: 8, Windows: 1, Compiled: true}},
 		{"tiny everything",
 			JobShape{Gates: 20, Faults: 30, Vectors: 20, MaxProcs: 8},
 			Plan{FaultShards: 1, Windows: 1}},
 		{"single proc",
 			JobShape{Gates: 50000, Faults: 100000, Vectors: 10000, MaxProcs: 1},
-			Plan{FaultShards: 1, Windows: 1}},
+			Plan{FaultShards: 1, Windows: 1, Compiled: true}},
 	}
 	for _, tc := range cases {
 		if got := Decide(tc.sh); got != tc.want {

@@ -8,6 +8,7 @@ import (
 
 	"sync"
 
+	"repro/internal/compiled"
 	"repro/internal/csim"
 	"repro/internal/faults"
 	"repro/internal/iscas"
@@ -34,6 +35,20 @@ type Compiled struct {
 	universes map[string]*faults.Universe
 	//simlint:guarded_by(mu)
 	plans map[string]*macro.Plan
+	//simlint:guarded_by(mu)
+	program *compiled.Program
+}
+
+// Program returns the memoized csim-C compiled form of the circuit,
+// lowering it on first use. Like plans and universes it is immutable
+// and shared: every csim-C job on this circuit reuses one Program.
+func (cc *Compiled) Program() *compiled.Program {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if cc.program == nil {
+		cc.program = compiled.Compile(cc.Circuit, nil)
+	}
+	return cc.program
 }
 
 // Universe returns the memoized fault universe for a model ("stuck",

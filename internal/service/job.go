@@ -58,7 +58,7 @@ var (
 	// Engines lists the accepted engine names.
 	Engines = []string{"csim", "csim-V", "csim-M", "csim-MV",
 		"csim-MV-eagerdrop", "csim-MV-reconvergent", "csim-P", "csim-V2",
-		"csim-grid", "PROOFS", "serial"}
+		"csim-grid", "csim-C", "PROOFS", "serial"}
 )
 
 // JobSpec is the submit-request body: what to simulate and how.
@@ -76,7 +76,8 @@ type JobSpec struct {
 	Model string `json:"model,omitempty"`
 	// Engine selects the simulator: csim, csim-V, csim-M, csim-MV
 	// (default), csim-MV-eagerdrop, csim-MV-reconvergent, csim-P, csim-V2,
-	// csim-grid, PROOFS, serial.
+	// csim-grid, csim-C (compiled bit-parallel; reuses the circuit's
+	// cached compiled program), PROOFS, serial.
 	Engine string `json:"engine,omitempty"`
 	// Workers is the csim-P partition worker count, or the csim-grid
 	// fault-shard count (<=0: server default; for csim-grid, <=0 with

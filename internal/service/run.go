@@ -6,6 +6,7 @@ import (
 	"log/slog"
 	"time"
 
+	"repro/internal/compiled"
 	"repro/internal/csim"
 	"repro/internal/faults"
 	"repro/internal/obs"
@@ -35,9 +36,9 @@ func buildVectors(spec *JobSpec, cc *Compiled) (*vectors.Set, error) {
 
 // execute runs one admitted job's engine under ctx and returns the
 // result view. Cancellation granularity: the csim variants check the
-// context between clock cycles; csim-P, csim-V2, csim-grid, PROOFS and
-// serial check it only before starting (a cancelled running job of those
-// engines finishes its simulation, then reports cancelled).
+// context between clock cycles; csim-P, csim-V2, csim-grid, csim-C,
+// PROOFS and serial check it only before starting (a cancelled running
+// job of those engines finishes its simulation, then reports cancelled).
 func execute(ctx context.Context, spec *JobSpec, cc *Compiled, ob *obs.Observer, prefix string, workersDefault int) (*ResultView, error) {
 	u, err := cc.Universe(spec.Model)
 	if err != nil {
@@ -97,6 +98,13 @@ func execute(ctx context.Context, spec *JobSpec, cc *Compiled, ob *obs.Observer,
 		}
 		res = sim.Run(vs)
 		rv.Stats.MemBytes = sim.Stats().MemBytes
+	case "csim-C":
+		sim, err := compiled.NewWith(cc.Program(), u)
+		if err != nil {
+			return nil, err
+		}
+		res = sim.Run(vs)
+		fillStats(rv, sim.Stats())
 	case "csim-P":
 		workers := spec.Workers
 		if workers <= 0 {

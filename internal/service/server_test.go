@@ -61,7 +61,7 @@ func TestJobMatchesSerialOracle(t *testing.T) {
 	_, cl := startServer(t, Config{Workers: 2})
 	ctx := ctxT(t)
 	want := oracle(t, "s298", "stuck", 40, 7)
-	for _, engine := range []string{"csim", "csim-V", "csim-M", "csim-MV", "csim-P", "csim-V2", "csim-grid", "PROOFS", "serial"} {
+	for _, engine := range []string{"csim", "csim-V", "csim-M", "csim-MV", "csim-P", "csim-V2", "csim-grid", "csim-C", "PROOFS", "serial"} {
 		v, err := cl.Run(ctx, JobSpec{Circuit: "s298", Engine: engine, Random: 40, Seed: 7}, time.Millisecond)
 		if err != nil {
 			t.Fatalf("%s: %v", engine, err)
