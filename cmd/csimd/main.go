@@ -25,9 +25,18 @@
 // SIGINT/SIGTERM starts a graceful drain: admissions stop, queued and
 // running jobs finish (bounded by -drain-timeout), then the process
 // exits 0. See DESIGN.md §10 and the README "Serving" section.
+//
+// Coordinator mode (-coordinator) serves the same API but executes
+// nothing locally: each admitted job is split into fault-partition
+// shards and fanned out to the worker csimd nodes named by
+// -worker-addrs (comma-separated base URLs) or -worker-file (one URL
+// per line, # comments). Workers are ordinary csimd processes — the
+// coordinator is a client of their job API. See DESIGN.md §13 and the
+// README "Distributed" section.
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
@@ -36,9 +45,11 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/dist"
 	"repro/internal/obs"
 	"repro/internal/service"
 )
@@ -58,6 +69,14 @@ func main() {
 		logFormat    = flag.String("log-format", "json", "structured log format on stderr: json or text")
 		logLevel     = flag.String("log-level", "info", "log threshold: debug, info, warn or error")
 		flightBuf    = flag.Int("flight-buffer", obs.DefaultFlightEvents, "per-job flight-recorder capacity (events)")
+
+		coordinator   = flag.Bool("coordinator", false, "coordinate a worker fleet instead of executing locally")
+		workerAddrs   = flag.String("worker-addrs", "", "comma-separated worker base URLs (coordinator mode)")
+		workerFile    = flag.String("worker-file", "", "file of worker base URLs, one per line (coordinator mode)")
+		probeInterval = flag.Duration("probe-interval", 2*time.Second, "worker /readyz health-probe spacing (coordinator mode)")
+		shardTimeout  = flag.Duration("shard-timeout", 2*time.Minute, "per-shard attempt bound before re-queue (coordinator mode)")
+		shardRetries  = flag.Int("shard-retries", 3, "workers a shard may be tried on before the job fails (coordinator mode)")
+		perWorker     = flag.Int("per-worker-inflight", 2, "concurrent shards per worker (coordinator mode)")
 	)
 	flag.Parse()
 
@@ -80,7 +99,7 @@ func main() {
 		fatal(err)
 	}
 
-	srv := service.New(service.Config{
+	cfg := service.Config{
 		Addr:           *addr,
 		Workers:        *workers,
 		QueueDepth:     *queue,
@@ -92,12 +111,39 @@ func main() {
 		Obs:            ob,
 		Log:            lg,
 		FlightEvents:   *flightBuf,
-	})
+	}
+	var coord *dist.Coordinator
+	if *coordinator {
+		fleet, err := workerList(*workerAddrs, *workerFile)
+		if err != nil {
+			fatal(err)
+		}
+		coord, err = dist.New(dist.Config{
+			Workers:           fleet,
+			ProbeInterval:     *probeInterval,
+			ShardTimeout:      *shardTimeout,
+			MaxAttempts:       *shardRetries,
+			PerWorkerInflight: *perWorker,
+			Obs:               ob,
+			Log:               lg,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer coord.Close()
+		cfg.Runner = coord
+	}
+	srv := service.New(cfg)
 	if err := srv.Start(); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("csimd:     serving http://%s/api/v1/jobs (%d workers, queue %d, cache %d)\n",
-		srv.Addr(), *workers, *queue, *cacheSize)
+	if coord != nil {
+		fmt.Printf("csimd:     coordinating http://%s/api/v1/jobs over %d worker(s)\n",
+			srv.Addr(), len(coord.Workers()))
+	} else {
+		fmt.Printf("csimd:     serving http://%s/api/v1/jobs (%d workers, queue %d, cache %d)\n",
+			srv.Addr(), *workers, *queue, *cacheSize)
+	}
 
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
@@ -113,6 +159,48 @@ func main() {
 	}
 	fmt.Println("csimd:     drained cleanly")
 	writeTrace(*traceOut, tr)
+}
+
+// workerList resolves the coordinator's fleet from -worker-addrs
+// (comma-separated) plus -worker-file (one URL per line; blank lines
+// and # comments skipped), normalizing bare host:port to http://.
+func workerList(addrs, file string) ([]string, error) {
+	var out []string
+	for _, a := range strings.Split(addrs, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, normalizeWorkerURL(a))
+		}
+	}
+	if file != "" {
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, fmt.Errorf("-worker-file: %w", err)
+		}
+		defer f.Close()
+		sc := bufio.NewScanner(f)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			out = append(out, normalizeWorkerURL(line))
+		}
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("-worker-file: %w", err)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-coordinator needs workers via -worker-addrs or -worker-file")
+	}
+	return out, nil
+}
+
+// normalizeWorkerURL defaults a scheme-less worker address to http.
+func normalizeWorkerURL(a string) string {
+	if strings.Contains(a, "://") {
+		return a
+	}
+	return "http://" + a
 }
 
 // buildLogger assembles the stderr slog handler from the -log-format and

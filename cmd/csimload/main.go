@@ -13,11 +13,17 @@
 // peak number of concurrently in-flight jobs never reaches
 // -min-inflight, or when -expect-reject is set and the run never drew a
 // 429. Queue rejections are retried honouring the server's Retry-After
-// hint (capped by -max-retry-wait), so overload slows the run down but
-// never fails it. With -check-prom the tool also scrapes
-// /metricsz?format=prometheus after the run and fails unless the
-// exposition parses cleanly (with -clients 0 this is a standalone
-// scrape check against an already-running server).
+// hint (capped per sleep by -max-retry-wait, jittered to de-synchronize
+// the herd, and bounded in total per job by -max-retry-time), so
+// overload slows the run down but never silently livelocks it. With
+// -check-prom the tool also scrapes /metricsz?format=prometheus after
+// the run and fails unless the exposition parses cleanly (with
+// -clients 0 this is a standalone scrape check against an
+// already-running server).
+//
+// Multi-node mode: -nodes takes a comma-separated list of csimd base
+// URLs (workers or coordinators) and round-robins the client
+// goroutines across them; assertions aggregate over all nodes.
 package main
 
 import (
@@ -25,6 +31,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"strings"
 	"sync"
@@ -39,6 +46,7 @@ import (
 func main() {
 	var (
 		addr         = flag.String("addr", "http://127.0.0.1:8416", "csimd base URL")
+		nodes        = flag.String("nodes", "", "comma-separated csimd base URLs; clients round-robin across them (overrides -addr)")
 		clients      = flag.Int("clients", 16, "concurrent client goroutines")
 		jobs         = flag.Int("jobs", 4, "jobs per client")
 		circuit      = flag.String("circuit", "s5378", "built-in suite circuit to simulate")
@@ -48,7 +56,8 @@ func main() {
 		seed         = flag.Int64("seed", 1, "random vector seed")
 		poll         = flag.Duration("poll", 5*time.Millisecond, "job status poll interval")
 		timeout      = flag.Duration("timeout", 5*time.Minute, "whole-run deadline")
-		maxRetryWait = flag.Duration("max-retry-wait", 2*time.Second, "cap on honoured Retry-After backoff")
+		maxRetryWait = flag.Duration("max-retry-wait", 2*time.Second, "cap on one honoured Retry-After sleep")
+		maxRetryTime = flag.Duration("max-retry-time", 30*time.Second, "cap on a single job's total 429 backoff before its submission fails")
 
 		expectDet   = flag.Int("expect-detections", -1, "assert every completed job detects exactly this many faults (-1 disables)")
 		minCacheHit = flag.Float64("min-cache-hit", 0, "assert the final server cache hit rate is at least this fraction (0 disables)")
@@ -60,7 +69,23 @@ func main() {
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
-	cl := service.NewClient(*addr)
+	urls := []string{*addr}
+	if *nodes != "" {
+		urls = urls[:0]
+		for _, u := range strings.Split(*nodes, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				urls = append(urls, u)
+			}
+		}
+		if len(urls) == 0 {
+			fmt.Fprintln(os.Stderr, "csimload: -nodes named no URLs")
+			os.Exit(1)
+		}
+	}
+	nodeClients := make([]*service.Client, len(urls))
+	for i, u := range urls {
+		nodeClients[i] = service.NewClient(u)
+	}
 	spec := service.JobSpec{
 		Circuit: *circuit, Model: *model, Engine: *engine,
 		Random: *randomN, Seed: *seed,
@@ -81,11 +106,11 @@ func main() {
 	var wg sync.WaitGroup
 	for c := 0; c < *clients; c++ {
 		wg.Add(1)
-		go func() {
+		go func(cl *service.Client) {
 			defer wg.Done()
 			for i := 0; i < *jobs; i++ {
 				jStart := time.Now()
-				v, err := submitWithRetry(ctx, cl, spec, *maxRetryWait, &rejections)
+				v, err := submitWithRetry(ctx, cl, spec, *maxRetryWait, *maxRetryTime, &rejections)
 				if err != nil {
 					record(&mu, &failures, fmt.Sprintf("submit: %v", err))
 					return
@@ -115,7 +140,7 @@ func main() {
 				latencies = append(latencies, time.Since(jStart))
 				mu.Unlock()
 			}
-		}()
+		}(nodeClients[c%len(nodeClients)])
 	}
 	wg.Wait()
 	wall := time.Since(start)
@@ -123,12 +148,12 @@ func main() {
 	sum := harness.Summarize(latencies, wall)
 	total := *clients * *jobs
 	fmt.Printf("csimload:  %s %s/%s random=%d x %d clients x %d jobs\n",
-		*addr, *circuit, *engine, *randomN, *clients, *jobs)
+		strings.Join(urls, ","), *circuit, *engine, *randomN, *clients, *jobs)
 	fmt.Printf("completed: %d/%d (rejected-then-retried: %d, peak in-flight: %d)\n",
 		completed.Load(), total, rejections.Load(), peakInflight.Load())
 	fmt.Printf("latency:   %s\n", sum)
 
-	hitRate := cacheHitRate(ctx, cl)
+	hitRate := cacheHitRate(ctx, nodeClients)
 	if hitRate >= 0 {
 		fmt.Printf("cache:     hit rate %.1f%%\n", 100*hitRate)
 	}
@@ -168,13 +193,15 @@ func main() {
 		fail("expected at least one 429 queue rejection; saw none")
 	}
 	if *checkProm {
-		body, err := cl.MetricszProm(ctx)
-		if err != nil {
-			fail("prometheus scrape: %v", err)
-		} else if n, err := obs.CheckExposition(strings.NewReader(body)); err != nil {
-			fail("prometheus exposition invalid: %v", err)
-		} else {
-			fmt.Printf("prom:      %d samples, exposition valid\n", n)
+		for i, ncl := range nodeClients {
+			body, err := ncl.MetricszProm(ctx)
+			if err != nil {
+				fail("prometheus scrape (node %d): %v", i, err)
+			} else if n, err := obs.CheckExposition(strings.NewReader(body)); err != nil {
+				fail("prometheus exposition invalid (node %d): %v", i, err)
+			} else {
+				fmt.Printf("prom:      node %d: %d samples, exposition valid\n", i, n)
+			}
 		}
 	}
 	if !ok {
@@ -183,9 +210,13 @@ func main() {
 }
 
 // submitWithRetry submits a job, backing off on 429 for the server's
-// Retry-After hint (capped) and counting each rejection.
+// Retry-After hint — capped per sleep by maxWait, jittered by up to
+// half the sleep so rejected clients don't re-converge on the same
+// instant, and bounded in total by maxTotal so a saturated server
+// fails the job loudly instead of livelocking the run.
 func submitWithRetry(ctx context.Context, cl *service.Client, spec service.JobSpec,
-	maxWait time.Duration, rejections *atomic.Int64) (service.JobView, error) {
+	maxWait, maxTotal time.Duration, rejections *atomic.Int64) (service.JobView, error) {
+	var waited time.Duration
 	for {
 		v, err := cl.Submit(ctx, spec)
 		var qf *service.QueueFullError
@@ -197,24 +228,35 @@ func submitWithRetry(ctx context.Context, cl *service.Client, spec service.JobSp
 		if wait > maxWait {
 			wait = maxWait
 		}
+		wait += time.Duration(rand.Int63n(int64(wait)/2 + 1))
+		if waited+wait > maxTotal {
+			return v, fmt.Errorf("429 retry budget %s exhausted after %s of backoff: %w", maxTotal, waited, err)
+		}
 		select {
 		case <-ctx.Done():
 			return v, ctx.Err()
 		case <-time.After(wait):
 		}
+		waited += wait
 	}
 }
 
-// cacheHitRate reads the final hit rate from /metricsz; -1 when the
-// metrics are unavailable or no lookup happened.
-func cacheHitRate(ctx context.Context, cl *service.Client) float64 {
-	m, err := cl.Metricsz(ctx)
-	if err != nil {
-		return -1
+// cacheHitRate reads the final hit rate aggregated over every node's
+// /metricsz; -1 when the metrics are unavailable or no lookup
+// happened anywhere.
+func cacheHitRate(ctx context.Context, cls []*service.Client) float64 {
+	var hits, misses int64
+	seen := false
+	for _, cl := range cls {
+		m, err := cl.Metricsz(ctx)
+		if err != nil {
+			continue
+		}
+		seen = true
+		hits += m["serve.cache_hits"].Value
+		misses += m["serve.cache_misses"].Value
 	}
-	hits := m["serve.cache_hits"].Value
-	misses := m["serve.cache_misses"].Value
-	if hits+misses == 0 {
+	if !seen || hits+misses == 0 {
 		return -1
 	}
 	return float64(hits) / float64(hits+misses)

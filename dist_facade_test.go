@@ -1,0 +1,50 @@
+package faultsim_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	faultsim "repro"
+)
+
+// TestSimulateDistributedFacade drives the one-shot distributed helper
+// end to end: two real worker servers, a coordinator over them, and a
+// result identical to the serial oracle.
+func TestSimulateDistributedFacade(t *testing.T) {
+	var fleet []string
+	for i := 0; i < 2; i++ {
+		w := faultsim.NewServer(faultsim.ServeConfig{Addr: "127.0.0.1:0", Workers: 2})
+		if err := w.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = w.Close() })
+		fleet = append(fleet, "http://"+w.Addr())
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	res, err := faultsim.SimulateDistributed(ctx, faultsim.DistConfig{
+		Workers:       fleet,
+		ProbeInterval: 20 * time.Millisecond,
+		Poll:          2 * time.Millisecond,
+	}, faultsim.JobSpec{
+		Circuit: "s298", Engine: "csim-grid", Random: 40, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := faultsim.Benchmark("s298")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := faultsim.SimulateSerial(faultsim.StuckFaults(c), faultsim.RandomVectors(c, 40, 7))
+	if res.Detected != want.NumDet || res.PotOnly != want.NumPotOnly() {
+		t.Errorf("distributed %d/%d, serial oracle %d/%d",
+			res.Detected, res.PotOnly, want.NumDet, want.NumPotOnly())
+	}
+	if res.Workers < 1 {
+		t.Errorf("result records no fault-shard count: %+v", res)
+	}
+}

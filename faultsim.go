@@ -31,6 +31,7 @@ import (
 	"repro/internal/atpg"
 	"repro/internal/compiled"
 	"repro/internal/csim"
+	"repro/internal/dist"
 	"repro/internal/faults"
 	"repro/internal/gen"
 	"repro/internal/goodsim"
@@ -388,3 +389,64 @@ func NewServer(cfg ServeConfig) *Server { return service.New(cfg) }
 // NewServeClient builds a client for a csimd server's base URL, e.g.
 // "http://127.0.0.1:8416".
 func NewServeClient(baseURL string) *ServeClient { return service.NewClient(baseURL) }
+
+// Distributed types (the csimd coordinator; see DESIGN.md §13).
+type (
+	// DistConfig tunes a distributed coordinator: the worker fleet's
+	// base URLs, health-probe and shard-timeout bounds, retry policy,
+	// and the observability bundle.
+	DistConfig = dist.Config
+	// Coordinator fans jobs out to a csimd worker fleet as
+	// fault-partition shards and merges the results deterministically.
+	// It implements the service tier's JobRunner, so NewServer with
+	// ServeConfig.Runner set to a Coordinator serves the ordinary job
+	// API distributed.
+	Coordinator = dist.Coordinator
+)
+
+// NewCoordinator builds a distributed coordinator over a worker fleet
+// and starts its health probers; Close stops them. Plug it into a
+// server via ServeConfig.Runner.
+func NewCoordinator(cfg DistConfig) (*Coordinator, error) { return dist.New(cfg) }
+
+// SimulateDistributed runs one simulation job across a csimd worker
+// fleet and waits for the merged result: a self-contained helper that
+// brings up a coordinator-fronted server on a loopback port, submits
+// spec, and tears everything down. The result is bit-identical to the
+// same spec run locally. For anything beyond a one-shot — job streams,
+// polling, cancellation — build a NewCoordinator-backed NewServer and
+// use the job API.
+func SimulateDistributed(ctx context.Context, cfg DistConfig, spec JobSpec) (*JobResult, error) {
+	coord, err := dist.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer coord.Close()
+	srv := service.New(service.Config{Addr: "127.0.0.1:0", Runner: coord, Obs: cfg.Obs, Log: cfg.Log})
+	if err := srv.Start(); err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	v, err := service.NewClient("http://"+srv.Addr()).Run(ctx, spec, 0)
+	if err != nil {
+		return nil, err
+	}
+	if v.Status != service.StatusDone {
+		return nil, &DistJobError{Status: string(v.Status), Msg: v.Error}
+	}
+	return v.Result, nil
+}
+
+// DistJobError reports a distributed job that ended in a non-done
+// terminal state (failed or cancelled).
+type DistJobError struct {
+	// Status is the terminal job status.
+	Status string
+	// Msg is the job's error line.
+	Msg string
+}
+
+// Error renders the terminal status and the job's error line.
+func (e *DistJobError) Error() string {
+	return "distributed job " + e.Status + ": " + e.Msg
+}

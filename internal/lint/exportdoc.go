@@ -14,7 +14,9 @@ var exportDocPackages = map[string]bool{
 	"repro":                   true, // the faultsim facade
 	"repro/internal/bench":    true,
 	"repro/internal/compiled": true,
+	"repro/internal/dist":     true,
 	"repro/internal/harness":  true,
+	"repro/internal/jobid":    true,
 	"repro/internal/obs":      true,
 	"repro/internal/parallel": true,
 	"repro/internal/service":  true,
@@ -28,8 +30,9 @@ var ExportDoc = &Analyzer{
 	Doc: `require doc comments on all exported identifiers of surface packages
 
 Scoped to the packages that form the documented API (the faultsim root
-package, internal/bench, internal/compiled, internal/harness,
-internal/obs, internal/parallel, internal/service). Within them,
+package, internal/bench, internal/compiled, internal/dist,
+internal/harness, internal/jobid, internal/obs, internal/parallel,
+internal/service). Within them,
 every exported top-level function, type, variable and constant, every
 method with an exported name on an exported type, every exported field
 of an exported struct, and every method of an exported interface needs

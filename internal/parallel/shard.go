@@ -1,0 +1,89 @@
+package parallel
+
+import (
+	"fmt"
+	"log/slog"
+
+	"repro/internal/csim"
+	"repro/internal/faults"
+	"repro/internal/goodsim"
+	"repro/internal/obs"
+	"repro/internal/vectors"
+)
+
+// ShardOptions configures one slice of the distributed grid: fault
+// partition Shard of Of crossed with Windows vector windows. A worker
+// csimd node executes exactly this when a coordinator fans a job out —
+// the partitioner is the deterministic csim-P dealer, so every node
+// that computes Partition(u, Of) agrees on which faults shard k holds,
+// and MergeResults over all Of shard results is bit-identical to a
+// local SimulateGrid (and hence to the serial oracle).
+type ShardOptions struct {
+	// Shard is the fault-partition index in [0, Of).
+	Shard int
+	// Of is the total fault-partition count (K of the K×W grid).
+	Of int
+	// Windows is the vector-window count run locally over the shard's
+	// faults; <= 0 means 1. Clamped to the vector count.
+	Windows int
+	// Config is the per-simulator variant (typically csim.MV()).
+	Config csim.Config
+	// Obs attaches the observability layer: the shard publishes under
+	// "csim-grid.shard<k>." exactly as the same shard of a local grid
+	// run would. Nil disables observability.
+	Obs *obs.Observer
+}
+
+// SimulateShard runs fault shard opt.Shard of opt.Of over the whole
+// vector set in opt.Windows windows and returns the shard's detections
+// (a Result over the full universe in which only the shard's faults can
+// be detected) and the shard's stats. It is the worker-side half of the
+// distributed tier: the coordinator merges Of such results with
+// faults.MergeResults, first detection winning, so the distributed run
+// reproduces the single-node grid bit for bit.
+func SimulateShard(u *faults.Universe, vs *vectors.Set, opt ShardOptions) (*faults.Result, csim.Stats, error) {
+	if opt.Of < 1 {
+		return nil, csim.Stats{}, fmt.Errorf("parallel: shard count %d < 1", opt.Of)
+	}
+	if opt.Shard < 0 || opt.Shard >= opt.Of {
+		return nil, csim.Stats{}, fmt.Errorf("parallel: shard index %d outside [0, %d)", opt.Shard, opt.Of)
+	}
+	ob := opt.Obs
+	w := opt.Windows
+	if w < 1 {
+		w = 1
+	}
+	if w > vs.Len() {
+		w = vs.Len()
+	}
+	psp := ob.Span("partition")
+	part := Partition(u, opt.Of)[opt.Shard]
+	psp.End()
+	if len(part) == 0 {
+		// More shards than faults: this shard holds nothing. An empty
+		// result merges as a no-op.
+		return faults.NewResult(u), csim.Stats{}, nil
+	}
+	trace := goodsim.RecordObserved(u.Circuit, vs.Vecs, ob)
+	ob.Recorder().Recordf("shard_start", "shard %d of %d: %d faults over %d windows",
+		opt.Shard, opt.Of, len(part), w)
+	ob.Logger().Debug("shard start",
+		slog.String("phase", "fault-sim"),
+		slog.Int("shard", opt.Shard),
+		slog.Int("of", opt.Of),
+		slog.Int("faults", len(part)),
+		slog.Int("windows", w))
+	res, st, repaired, err := simulateWindows(
+		u, vs, trace, part, w, opt.Config, ob, GridShardPrefix(opt.Shard), opt.Shard*w)
+	if err != nil {
+		return nil, csim.Stats{}, err
+	}
+	ob.Recorder().Recordf("shard_finish", "shard %d of %d: %d detected, %d repaired",
+		opt.Shard, opt.Of, res.NumDet, repaired)
+	ob.Logger().Debug("shard finish",
+		slog.String("phase", "fault-sim"),
+		slog.Int("shard", opt.Shard),
+		slog.Int("detected", res.NumDet),
+		slog.Int("repaired", repaired))
+	return res, st, nil
+}

@@ -175,6 +175,25 @@ func (c *Client) Run(ctx context.Context, spec JobSpec, poll time.Duration) (Job
 	return c.Wait(ctx, v.ID, poll)
 }
 
+// Ready probes the server's /readyz endpoint: nil when the server
+// accepts new jobs, an error when it is unreachable, down, or
+// draining. The distributed coordinator's worker prober calls this.
+func (c *Client) Ready(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/readyz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("readyz: HTTP %d", resp.StatusCode)
+	}
+	return nil
+}
+
 // Metricsz fetches the server's metrics snapshot (/metricsz) as a
 // name → point map for assertions and load reports.
 func (c *Client) Metricsz(ctx context.Context) (map[string]obs.Point, error) {

@@ -17,6 +17,8 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/csim"
+	"repro/internal/faults"
 	"repro/internal/obs"
 )
 
@@ -24,31 +26,11 @@ import (
 // own job ID in it (minted by a coordinator, say), the server echoes
 // the admitted ID on every job-API response, and ServeClient forwards
 // the ID it finds in the request context — so one correlation ID
-// follows a job across process boundaries.
+// follows a job across process boundaries. The accepted grammar and the
+// server's "j<seq>" minting live in internal/jobid, shared with the
+// distributed coordinator so shard IDs obey the same rules at every
+// tier (including 409 on live-ID reuse).
 const JobIDHeader = "X-Csim-Job-Id"
-
-// validJobID constrains client-supplied correlation IDs: 1–128 chars,
-// leading alphanumeric, then alphanumerics plus . _ - (no "/", which
-// the job API routes on).
-func validJobID(id string) bool {
-	if len(id) == 0 || len(id) > 128 {
-		return false
-	}
-	for i := 0; i < len(id); i++ {
-		c := id[i]
-		alnum := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
-		if i == 0 {
-			if !alnum {
-				return false
-			}
-			continue
-		}
-		if !alnum && c != '.' && c != '_' && c != '-' {
-			return false
-		}
-	}
-	return true
-}
 
 // Fault models and engine names accepted by JobSpec, in the spelling the
 // CLIs use.
@@ -69,6 +51,14 @@ type JobSpec struct {
 	// Bench is an inline ISCAS-89 .bench netlist. Its size is bounded by
 	// the server's MaxInlineBytes (oversized → 413).
 	Bench string `json:"bench,omitempty"`
+	// BenchKey references an inline netlist already in the server's
+	// compiled-circuit cache by its cache key ("sha256:<hex>"), instead
+	// of shipping the text again. The distributed coordinator ships a
+	// circuit once per worker, then submits every further shard by key.
+	// An unknown or evicted key is a 400 whose problems list carries
+	// BenchKeyMissProblem, telling the submitter to re-ship the text.
+	// Exactly one of Circuit, Bench and BenchKey must be set.
+	BenchKey string `json:"bench_key,omitempty"`
 	// BenchName names the inline netlist in diagnostics (default
 	// "inline").
 	BenchName string `json:"bench_name,omitempty"`
@@ -97,14 +87,35 @@ type JobSpec struct {
 	// TimeoutMS bounds the job's run time in milliseconds; 0 means the
 	// server default. The server caps it at its configured maximum.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// FaultShards restricts the job to one fault partition of a K-way
+	// split: the universe is dealt by the deterministic csim-P
+	// partitioner into FaultShards groups and only group FaultShard is
+	// simulated. 0 (the default) simulates the whole universe. Shard
+	// specs require engine csim-grid — they are what a distributed
+	// coordinator submits to worker nodes, with Windows carrying the
+	// vector-axis width of the shard.
+	FaultShards int `json:"fault_shards,omitempty"`
+	// FaultShard is the partition index in [0, FaultShards) when
+	// FaultShards > 0.
+	FaultShard int `json:"fault_shard,omitempty"`
+	// ReturnDetections asks for the per-fault detection arrays
+	// (ResultView.Detections) in addition to the counters — the payload
+	// a coordinator needs to merge shard results deterministically.
+	ReturnDetections bool `json:"return_detections,omitempty"`
 }
 
 // normalize fills defaults and validates the spec shape (everything that
 // can be judged without compiling the circuit). It returns a user-facing
 // error for a 400 response.
 func (sp *JobSpec) normalize() error {
-	if (sp.Circuit == "") == (sp.Bench == "") {
-		return fmt.Errorf("exactly one of circuit and bench is required")
+	set := 0
+	for _, s := range []string{sp.Circuit, sp.Bench, sp.BenchKey} {
+		if s != "" {
+			set++
+		}
+	}
+	if set != 1 {
+		return fmt.Errorf("exactly one of circuit, bench and bench_key is required")
 	}
 	if sp.BenchName == "" {
 		sp.BenchName = "inline"
@@ -136,6 +147,19 @@ func (sp *JobSpec) normalize() error {
 	if sp.TimeoutMS < 0 {
 		return fmt.Errorf("timeout_ms must be >= 0")
 	}
+	if sp.FaultShards < 0 {
+		return fmt.Errorf("fault_shards must be >= 0")
+	}
+	if sp.FaultShards > 0 {
+		if sp.Engine != "csim-grid" {
+			return fmt.Errorf("fault-shard specs require engine csim-grid, not %q", sp.Engine)
+		}
+		if sp.FaultShard < 0 || sp.FaultShard >= sp.FaultShards {
+			return fmt.Errorf("fault_shard %d outside [0, %d)", sp.FaultShard, sp.FaultShards)
+		}
+	} else if sp.FaultShard != 0 {
+		return fmt.Errorf("fault_shard requires fault_shards > 0")
+	}
 	return nil
 }
 
@@ -166,6 +190,81 @@ func (s Status) Terminal() bool {
 	return s == StatusDone || s == StatusFailed || s == StatusCancelled
 }
 
+// DetectionsView is the per-fault detection payload a result carries
+// when the spec set ReturnDetections: enough to reconstruct — and
+// deterministically merge — a faults.Result without re-simulating.
+// Fault indexing follows the universe's collapsed order, which is a
+// pure function of (circuit, model), so every node that compiles the
+// same circuit agrees on it.
+type DetectionsView struct {
+	// DetectedAt is the first detecting vector index per fault, -1 when
+	// undetected. Its length is the universe size.
+	DetectedAt []int32 `json:"detected_at"`
+	// Pot lists the indices of potentially-detected faults, ascending.
+	Pot []int32 `json:"pot,omitempty"`
+}
+
+// NewDetectionsView extracts the detection payload from a result.
+func NewDetectionsView(res *faults.Result) *DetectionsView {
+	dv := &DetectionsView{DetectedAt: make([]int32, len(res.DetectedAt))}
+	copy(dv.DetectedAt, res.DetectedAt)
+	for i, p := range res.PotDetected {
+		if p {
+			dv.Pot = append(dv.Pot, int32(i))
+		}
+	}
+	return dv
+}
+
+// Result reconstructs the faults.Result the payload was taken from,
+// over a universe of the same (circuit, model). The round trip is
+// exact, so coordinator-side MergeResults over reconstructed shard
+// payloads equals a local merge of the in-process shard results.
+func (dv *DetectionsView) Result(u *faults.Universe) (*faults.Result, error) {
+	res := faults.NewResult(u)
+	if len(dv.DetectedAt) != len(res.DetectedAt) {
+		return nil, fmt.Errorf("service: detections payload covers %d faults, universe has %d",
+			len(dv.DetectedAt), len(res.DetectedAt))
+	}
+	copy(res.DetectedAt, dv.DetectedAt)
+	for i, at := range res.DetectedAt {
+		if at >= 0 {
+			res.Detected[i] = true
+			res.NumDet++
+		}
+	}
+	for _, id := range dv.Pot {
+		if id < 0 || int(id) >= len(res.PotDetected) {
+			return nil, fmt.Errorf("service: pot fault index %d out of range (universe %d)",
+				id, len(res.PotDetected))
+		}
+		res.PotDetected[id] = true
+	}
+	return res, nil
+}
+
+// NumDetected counts the hard detections in the payload.
+func (dv *DetectionsView) NumDetected() int {
+	n := 0
+	for _, at := range dv.DetectedAt {
+		if at >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// NumPotOnly counts faults potentially but never hard detected.
+func (dv *DetectionsView) NumPotOnly() int {
+	n := 0
+	for _, id := range dv.Pot {
+		if int(id) < len(dv.DetectedAt) && dv.DetectedAt[id] < 0 {
+			n++
+		}
+	}
+	return n
+}
+
 // StatsView is the engine instrumentation block of a job result.
 type StatsView struct {
 	// Evals counts faulty-machine gate evaluations.
@@ -178,10 +277,46 @@ type StatsView struct {
 	Scheds int `json:"scheds"`
 	// PeakElems is the high-water mark of live fault elements.
 	PeakElems int `json:"peak_elems"`
+	// CurElems is the live fault-element count at the end of the run.
+	CurElems int `json:"cur_elems,omitempty"`
 	// Macros is the macro count of the plan in use.
 	Macros int `json:"macros"`
 	// MemBytes is the accounted fault-element memory at peak.
 	MemBytes int64 `json:"mem_bytes"`
+	// Detections counts the engine-observed detection events.
+	Detections int `json:"detections,omitempty"`
+}
+
+// Stats converts the view back to the engine counter struct, so views
+// collected from remote shards can merge through csim.MergeStats with
+// the exact sum/max policies the local grid merge uses.
+func (v StatsView) Stats() csim.Stats {
+	return csim.Stats{
+		Evals:      v.Evals,
+		Skips:      v.Skips,
+		GoodEvals:  v.GoodEvals,
+		Scheds:     v.Scheds,
+		PeakElems:  v.PeakElems,
+		CurElems:   v.CurElems,
+		Macros:     v.Macros,
+		MemBytes:   v.MemBytes,
+		Detections: v.Detections,
+	}
+}
+
+// NewStatsView copies the engine counters into the view.
+func NewStatsView(st csim.Stats) StatsView {
+	return StatsView{
+		Evals:      st.Evals,
+		Skips:      st.Skips,
+		GoodEvals:  st.GoodEvals,
+		Scheds:     st.Scheds,
+		PeakElems:  st.PeakElems,
+		CurElems:   st.CurElems,
+		Macros:     st.Macros,
+		MemBytes:   st.MemBytes,
+		Detections: st.Detections,
+	}
 }
 
 // ResultView is a finished job's payload: the detections and counters a
@@ -216,6 +351,9 @@ type ResultView struct {
 	CacheHit bool `json:"cache_hit"`
 	// Stats is the engine instrumentation block (zero for PROOFS/serial).
 	Stats StatsView `json:"stats"`
+	// Detections is the per-fault payload, present when the spec set
+	// ReturnDetections.
+	Detections *DetectionsView `json:"detections,omitempty"`
 }
 
 // JobView is the job-status response body.
@@ -224,6 +362,10 @@ type JobView struct {
 	ID string `json:"id"`
 	// Status is the lifecycle state.
 	Status Status `json:"status"`
+	// DistPhase is the coordinator-side state-machine phase of a
+	// distributed job (pending → dispatched → merging → done/failed);
+	// empty for locally executed jobs.
+	DistPhase string `json:"dist_phase,omitempty"`
 	// Spec echoes the normalized submission.
 	Spec JobSpec `json:"spec"`
 	// Submitted, Started and Finished are RFC3339Nano timestamps; Started
@@ -287,6 +429,7 @@ type job struct {
 
 	mu        sync.Mutex
 	status    Status
+	distPhase string
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
@@ -314,6 +457,7 @@ func (j *job) view() JobView {
 	v := JobView{
 		ID:        j.id,
 		Status:    j.status,
+		DistPhase: j.distPhase,
 		Spec:      j.spec,
 		Submitted: j.submitted.Format(time.RFC3339Nano),
 		Error:     j.err,
@@ -418,4 +562,13 @@ func (j *job) currentStatus() Status {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.status
+}
+
+// setDistPhase records the coordinator state-machine phase (surfaced in
+// JobView.DistPhase) and mirrors it into the flight recorder.
+func (j *job) setDistPhase(phase string) {
+	j.mu.Lock()
+	j.distPhase = phase
+	j.mu.Unlock()
+	j.flight.Recordf("dist_phase", "coordinator phase %s", phase)
 }

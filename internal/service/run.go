@@ -16,10 +16,11 @@ import (
 	"repro/internal/vectors"
 )
 
-// buildVectors materializes the job's vector spec against the compiled
+// BuildVectors materializes the job's vector spec against the compiled
 // circuit. Inline vector parse errors are user errors (400 at admission,
-// where this is first called).
-func buildVectors(spec *JobSpec, cc *Compiled) (*vectors.Set, error) {
+// where this is first called). The distributed coordinator calls it too,
+// to size the vector axis before planning a K×W split.
+func BuildVectors(spec *JobSpec, cc *Compiled) (*vectors.Set, error) {
 	numPIs := len(cc.Circuit.PIs)
 	if spec.Vectors != "" {
 		vs, err := vectors.ParseString(spec.Vectors, numPIs)
@@ -44,7 +45,7 @@ func execute(ctx context.Context, spec *JobSpec, cc *Compiled, ob *obs.Observer,
 	if err != nil {
 		return nil, err
 	}
-	vs, err := buildVectors(spec, cc)
+	vs, err := BuildVectors(spec, cc)
 	if err != nil {
 		return nil, err
 	}
@@ -54,7 +55,7 @@ func execute(ctx context.Context, spec *JobSpec, cc *Compiled, ob *obs.Observer,
 	// postmortem. Explain is pure, so the pinned plan used later is the
 	// exact plan SimulateAuto would have chosen.
 	var autoPlan *parallel.Plan
-	if spec.Engine == "csim-grid" && spec.Workers <= 0 && spec.Windows <= 0 {
+	if spec.Engine == "csim-grid" && spec.FaultShards == 0 && spec.Workers <= 0 && spec.Windows <= 0 {
 		sh := parallel.JobShape{
 			Gates:    len(cc.Circuit.Gates),
 			Faults:   u.NumFaults(),
@@ -148,7 +149,22 @@ func execute(ctx context.Context, spec *JobSpec, cc *Compiled, ob *obs.Observer,
 			return nil, err
 		}
 		var st csim.Stats
-		if autoPlan != nil {
+		if spec.FaultShards > 0 {
+			// One fault-partition × vector-window slice of a distributed
+			// grid: exactly what a coordinator dispatches to this worker.
+			windows := spec.Windows
+			if windows <= 0 {
+				windows = 1
+			}
+			res, st, err = parallel.SimulateShard(u, vs, parallel.ShardOptions{
+				Shard: spec.FaultShard, Of: spec.FaultShards,
+				Windows: windows, Config: cfg, Obs: ob,
+			})
+			if err != nil {
+				return nil, err
+			}
+			rv.Workers, rv.Windows = spec.FaultShards, windows
+		} else if autoPlan != nil {
 			// Neither axis pinned: run the shape the scheduler chose (and
 			// recorded) above. SimulateGrid with the pinned plan is what
 			// SimulateAuto would have run.
@@ -199,6 +215,9 @@ func execute(ctx context.Context, spec *JobSpec, cc *Compiled, ob *obs.Observer,
 	rv.Detected = res.NumDet
 	rv.PotOnly = res.NumPotOnly()
 	rv.Coverage = res.Coverage()
+	if spec.ReturnDetections {
+		rv.Detections = NewDetectionsView(res)
+	}
 	// A cancellation that raced the final cycles still wins: the client
 	// asked for the job to stop, so it reports cancelled, not done.
 	if err := ctx.Err(); err != nil {
@@ -231,13 +250,5 @@ func engineConfig(engine string) csim.Config {
 
 // fillStats copies the engine counters into the view.
 func fillStats(rv *ResultView, st csim.Stats) {
-	rv.Stats = StatsView{
-		Evals:     st.Evals,
-		Skips:     st.Skips,
-		GoodEvals: st.GoodEvals,
-		Scheds:    st.Scheds,
-		PeakElems: st.PeakElems,
-		Macros:    st.Macros,
-		MemBytes:  st.MemBytes,
-	}
+	rv.Stats = NewStatsView(st)
 }

@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/jobid"
 	"repro/internal/obs"
 )
 
@@ -59,6 +60,10 @@ type Config struct {
 	SLOTarget time.Duration
 	// SLOByEngine overrides SLOTarget for individual engines.
 	SLOByEngine map[string]time.Duration
+	// Runner substitutes the job execution strategy. Nil runs jobs on
+	// the in-process engines; a distributed coordinator injects itself
+	// here to fan admitted jobs out to a worker fleet.
+	Runner JobRunner
 }
 
 // withDefaults fills the zero fields.
@@ -117,9 +122,10 @@ type Server struct {
 	cfg   Config
 	ob    *obs.Observer
 	log   *obs.Logger
-	slo   *sloTracker
-	cache *Cache
-	q     *jobQueue
+	slo    *sloTracker
+	cache  *Cache
+	q      *jobQueue
+	runner JobRunner
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -174,6 +180,10 @@ func New(cfg Config) *Server {
 		hQueueNS:    reg.Histogram("serve.job_queue_ns", latencyBuckets),
 		hRunNS:      reg.Histogram("serve.job_run_ns", latencyBuckets),
 		hTotalNS:    reg.Histogram("serve.job_total_ns", latencyBuckets),
+	}
+	s.runner = cfg.Runner
+	if s.runner == nil {
+		s.runner = localRunner{}
 	}
 	reg.Gauge("serve.workers").Set(int64(cfg.Workers))
 	reg.Gauge("serve.queue_capacity").Set(int64(cfg.QueueDepth))
@@ -378,7 +388,12 @@ func (s *Server) runJob(ctx context.Context, slot int, j *job) {
 		engineOb.Faults = nil
 	}
 	sp := s.ob.SpanTID(fmt.Sprintf("%s/%s/%s", j.id, j.spec.Engine, circuitLabel(&j.spec)), slot+1)
-	rv, err := execute(jctx, &j.spec, cc, engineOb, prefix, s.cfg.EngineWorkers)
+	rv, err := s.runner.RunJob(jctx, &RunRequest{
+		ID: j.id, Spec: &j.spec, CC: cc,
+		Obs: engineOb, ObsPrefix: prefix,
+		EngineWorkers: s.cfg.EngineWorkers,
+		SetPhase:      j.setDistPhase,
+	})
 	sp.End()
 
 	finished := time.Now()
@@ -526,7 +541,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	// Vector validation needs the circuit's PI count, so it happens
 	// post-compile; inline vector text errors are 400s too.
-	if _, err := buildVectors(&spec, cc); err != nil {
+	if _, err := BuildVectors(&spec, cc); err != nil {
 		writeError(w, http.StatusBadRequest, err.Error(), nil)
 		return
 	}
@@ -535,7 +550,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// coordinator fanning a job out names it once), else mint "j<seq>".
 	// The admitted ID is echoed back in the same header and in the body.
 	reqID := strings.TrimSpace(r.Header.Get(JobIDHeader))
-	if reqID != "" && !validJobID(reqID) {
+	if reqID != "" && !jobid.Valid(reqID) {
 		writeError(w, http.StatusBadRequest,
 			fmt.Sprintf("invalid %s %q: want 1-128 chars, alphanumeric then [alnum._-]", JobIDHeader, reqID), nil)
 		return
@@ -554,7 +569,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		// minting skips over taken names.
 		for {
 			s.seq++
-			id = fmt.Sprintf("j%d", s.seq)
+			id = jobid.Sequential(s.seq)
 			if _, exists := s.jobs[id]; !exists {
 				break
 			}
@@ -640,19 +655,11 @@ func (s *Server) handleList(w http.ResponseWriter) {
 		jobs = append(jobs, s.jobs[id])
 	}
 	s.mu.Unlock()
-	sort.Slice(jobs, func(i, k int) bool { return jobIDLess(jobs[i].id, jobs[k].id) })
+	sort.Slice(jobs, func(i, k int) bool { return jobid.Less(jobs[i].id, jobs[k].id) })
 	for _, j := range jobs {
 		views = append(views, j.view())
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
-}
-
-// jobIDLess orders "j<seq>" IDs numerically.
-func jobIDLess(a, b string) bool {
-	if len(a) != len(b) {
-		return len(a) < len(b)
-	}
-	return a < b
 }
 
 // handleJob serves GET (status) and DELETE (cancel) on
